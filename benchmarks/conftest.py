@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures.
+
+Each benchmark reproduces one paper table/figure: it runs the experiment
+once under ``benchmark.pedantic`` (so ``pytest-benchmark`` records the
+wall time of regenerating the artefact) and prints the paper-shaped rows
+through the ``report`` fixture, which bypasses pytest's output capture so
+the tables land in ``bench_output.txt``.
+
+Scale note: experiments run at the paper's CMIP grid (90 x 144) but with
+fewer iterations than the paper's 50-100, keeping the full bench suite in
+minutes on one core.  The *shape* conclusions (who wins, monotone trends)
+are iteration-count independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckCompressor, NumarckConfig
+from repro.simulations.cmip import CmipSimulation
+from repro.simulations.flash import FlashSimulation
+
+#: variables the paper's Fig. 5 / Tables I-II use from FLASH.
+FLASH_TABLE_VARS = ("dens", "pres", "temp", "ener", "eint")
+#: variables the paper's Fig. 4 / Tables I-II use from CMIP5.
+CMIP_TABLE_VARS = ("rlus", "mrsos", "mrro", "rlds", "mc")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print straight to the terminal, bypassing capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def flash_trajectory() -> list[dict[str, np.ndarray]]:
+    """9 checkpoints of a developed Sedov run (64 x 64, shared)."""
+    sim = FlashSimulation("sedov", ny=64, nx=64, steps_per_checkpoint=3)
+    # Skip the initial transient (paper measures at iteration 32+): advance
+    # a few checkpoints before recording.
+    for _ in range(4):
+        sim.advance()
+    return list(sim.run(8))
+
+
+def cmip_trajectory(variable: str, n_iters: int, nlat: int = 90,
+                    nlon: int = 144, seed: int = 42) -> list[np.ndarray]:
+    """n_iters + 1 iterations of one CMIP variable at the paper grid."""
+    if variable == "mc":
+        # mc is 3-D (8 levels); reduce the horizontal grid to keep the
+        # point count comparable to the surface variables.
+        nlat, nlon = max(nlat // 2, 8), max(nlon // 2, 8)
+    sim = CmipSimulation(variable, nlat=nlat, nlon=nlon, seed=seed)
+    return [cp[variable] for cp in sim.run(n_iters)]
+
+
+def series_stats(trajectory: list[np.ndarray], config: NumarckConfig):
+    """Per-iteration CompressionStats along a trajectory."""
+    comp = NumarckCompressor(config)
+    out = []
+    for prev, curr in zip(trajectory, trajectory[1:]):
+        out.append(comp.stats(prev, curr))
+    return out

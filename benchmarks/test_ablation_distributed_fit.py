@@ -1,0 +1,76 @@
+"""Ablation: distributed model-fit transports (in-situ deployment choice).
+
+The paper's in-situ setting demands "minimal data movement".  Three ways
+to learn one shared bin table across ranks:
+
+* **sample** -- gather a bounded candidate sample to rank 0 and fit there
+  (O(ranks x sample) traffic + broadcast of the table);
+* **sample+refine** -- additionally run distributed Lloyd from the
+  broadcast table (O(k) allreduce per iteration);
+* **sketch** -- allreduce a fixed 4096-bin mergeable histogram and fit the
+  identical weighted model on every rank (O(bins), rank-count independent,
+  no table broadcast).
+
+This bench compares the resulting global incompressible ratio against the
+serial (all-data) fit on the same iteration pair, plus the communication
+volume each transport moves.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cmip_trajectory
+from repro.analysis import format_table
+from repro.core import NumarckConfig, encode_iteration
+from repro.parallel import block_partition, parallel_encode, run_spmd
+
+N_RANKS = 2
+SAMPLE = 8192
+
+
+def _worker(comm, prev_shards, curr_shards, cfg, mode, refine):
+    enc, stats = parallel_encode(comm, prev_shards[comm.rank],
+                                 curr_shards[comm.rank], cfg,
+                                 sample_per_rank=SAMPLE,
+                                 fit_mode=mode, refine=refine)
+    return stats.incompressible_ratio
+
+
+def _run():
+    cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+    traj = cmip_trajectory("rlds", 1)
+    prev, curr = traj[0], traj[1]
+    serial = encode_iteration(prev, curr, cfg).incompressible_ratio
+
+    prev_shards = block_partition(prev.ravel(), N_RANKS)
+    curr_shards = block_partition(curr.ravel(), N_RANKS)
+    results = {}
+    for label, mode, refine in (("sample", "sample", False),
+                                ("sample+refine", "sample", True),
+                                ("sketch", "sketch", False)):
+        gammas = run_spmd(_worker, N_RANKS, prev_shards, curr_shards, cfg,
+                          mode, refine)
+        results[label] = gammas[0]
+    comm_bytes = {
+        "sample": N_RANKS * SAMPLE * 8,
+        "sample+refine": N_RANKS * SAMPLE * 8 + 25 * 255 * 16,
+        "sketch": N_RANKS * 4096 * 8,
+    }
+    return serial, results, comm_bytes
+
+
+def test_ablation_distributed_fit(benchmark, report):
+    serial, results, comm_bytes = benchmark.pedantic(_run, rounds=1,
+                                                     iterations=1)
+    rows = [["serial (all data)", serial * 100, 0]]
+    for label, gamma in results.items():
+        rows.append([label, gamma * 100, comm_bytes[label]])
+    report(format_table(
+        ["fit transport", "incompressible %", "~bytes moved"],
+        rows, precision=3,
+        title=f"Ablation: distributed model fit (rlds, {N_RANKS} ranks, "
+              "E=0.1 %, B=8)",
+    ))
+    # Every transport must stay close to the serial fit's quality.
+    for label, gamma in results.items():
+        assert gamma <= serial + 0.05, \
+            f"{label}: distributed fit lost too much coverage"

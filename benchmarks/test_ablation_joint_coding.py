@@ -1,0 +1,83 @@
+"""Ablation: joint change-vector coding vs per-variable coding.
+
+FLASH's pres and temp "showed very similar behaviors because the
+computation applied to both is actually the same" (paper III-G) -- their
+change ratios are nearly identical point-by-point.  Joint vector
+quantization shares one B-bit index between the pair; this bench measures
+the storage saving on correlated FLASH pairs and the penalty on an
+uncorrelated pairing.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import NumarckConfig, decode_joint, encode_iteration, encode_joint
+
+PAIRS = [("pres", "temp"), ("eint", "ener"), ("dens", "velz")]
+
+
+def _separate_bits(prev, curr, cfg, variables):
+    bits = 0
+    n = prev[variables[0]].size
+    for v in variables:
+        enc = encode_iteration(prev[v], curr[v], cfg)
+        bits += n * cfg.nbits + n + enc.exact_values.size * 64 + 255 * 64
+    return bits
+
+
+def _run(flash_trajectory):
+    cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+    prev_cp, curr_cp = flash_trajectory[4], flash_trajectory[5]
+    out = {}
+    for pair in PAIRS:
+        prev = {v: prev_cp[v] for v in pair}
+        curr = {v: curr_cp[v] for v in pair}
+        joint = encode_joint(prev, curr, cfg)
+        decoded = decode_joint(prev, joint)
+        worst = 0.0
+        for v in pair:
+            p = prev[v].ravel()
+            nz = (p != 0) & ~joint.incompressible[v]
+            err = np.abs((decoded[v].ravel()[nz] - p[nz]) / p[nz]
+                         - (curr[v].ravel()[nz] - p[nz]) / p[nz])
+            worst = max(worst, float(err.max(initial=0.0)))
+        corr = float(np.corrcoef(
+            (curr[pair[0]] / prev_cp[pair[0]] - 1).ravel(),
+            (curr[pair[1]] / prev_cp[pair[1]] - 1).ravel())[0, 1])
+        out[pair] = {
+            "corr": corr,
+            "joint_bits": joint.stored_bits(),
+            "separate_bits": _separate_bits(prev, curr, cfg, pair),
+            "worst_err": worst,
+            "gammas": [joint.incompressible_ratio(v) for v in pair],
+        }
+    return out
+
+
+def test_ablation_joint_coding(benchmark, report, flash_trajectory):
+    results = benchmark.pedantic(_run, args=(flash_trajectory,),
+                                 rounds=1, iterations=1)
+    rows = []
+    for pair, r in results.items():
+        saving = 1 - r["joint_bits"] / r["separate_bits"]
+        rows.append([
+            "+".join(pair), r["corr"], r["joint_bits"], r["separate_bits"],
+            f"{saving:+.1%}", max(r["gammas"]) * 100,
+        ])
+    report(format_table(
+        ["pair", "ratio corr", "joint bits", "separate bits",
+         "joint saving", "max gamma %"],
+        rows, precision=3,
+        title="Ablation: joint change-vector coding on FLASH pairs "
+              "(E=0.1 %, B=8)",
+    ))
+
+    # The guarantee must hold for every pair.
+    for r in results.values():
+        assert r["worst_err"] < 1e-3
+    # Strongly correlated pairs must save real storage.
+    pt = results[("pres", "temp")]
+    assert pt["corr"] > 0.9
+    assert pt["joint_bits"] < 0.8 * pt["separate_bits"]
+    ee = results[("eint", "ener")]
+    assert ee["joint_bits"] < 0.9 * ee["separate_bits"]

@@ -1,0 +1,63 @@
+"""Ablation: k-means initialisation (paper Section II-C3 design choice).
+
+The paper claims seeding k-means from the equal-width histogram gives
+"more reliable segmentation results" than default initialisation.  This
+bench compares histogram, k-means++ and random seeding on the same
+iteration pairs by incompressible ratio and Lloyd convergence.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cmip_trajectory
+from repro.analysis import format_table
+from repro.core import NumarckConfig
+from repro.core.change import change_ratios
+from repro.core.strategies import ClusteringStrategy
+
+INITS = ("histogram", "kmeans++", "random")
+VARS = ("rlds", "abs550aer", "mrsos")
+
+
+def _candidate_fail_rate(cand, model, e):
+    return float(np.mean(np.abs(model.approximate(cand) - cand) >= e))
+
+
+def _run():
+    e = 1e-3
+    out = {}
+    for var in VARS:
+        traj = cmip_trajectory(var, 2)
+        field = change_ratios(traj[1], traj[2])
+        r = field.ratios.ravel()
+        cand = r[(np.abs(r) >= e) & ~field.forced_exact.ravel()]
+        out[var] = {}
+        for space in ("linear", "asinh"):
+            for init in INITS:
+                strat = ClusteringStrategy(init=init, space=space, seed=1)
+                model = strat.fit(cand, 255, e)
+                out[var][(space, init)] = _candidate_fail_rate(cand, model, e)
+    return out
+
+
+def test_ablation_kmeans_init(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for var in VARS:
+        for space in ("linear", "asinh"):
+            rows.append([var, space] + [
+                results[var][(space, init)] * 100 for init in INITS
+            ])
+    report(format_table(
+        ["variable", "space"] + [f"{i} fail %" for i in INITS],
+        rows, precision=3,
+        title="Ablation: k-means init x clustering space "
+              "(candidate out-of-tolerance rate, B=8, E=0.1 %)",
+    ))
+    # Paper's claim holds on narrow, peaked distributions: histogram
+    # seeding matches or beats the stochastic inits on rlds (linear).
+    lin_rlds = {i: results["rlds"][("linear", i)] for i in INITS}
+    assert lin_rlds["histogram"] <= min(lin_rlds.values()) + 0.02
+    # Finding beyond the paper: on heavy-tailed data, *no* init rescues
+    # linear k-means -- the space transform dominates the init choice.
+    worst_asinh = max(results["abs550aer"][("asinh", i)] for i in INITS)
+    assert results["abs550aer"][("linear", "histogram")] > worst_asinh

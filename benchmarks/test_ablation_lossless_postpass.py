@@ -1,0 +1,64 @@
+"""Ablation: stacking a lossless pass on NUMARCK output.
+
+The paper notes (Section III-B) that a lossless compressor like FPC could
+be applied to NUMARCK's output for further reduction but leaves it out of
+scope.  This bench measures that headroom: the B-bit index stream is far
+from uniform (most points sit in a few dense bins), so zlib recovers real
+space; the incompressible float64 stream stays near-incompressible.
+"""
+
+import numpy as np
+import zlib
+
+from benchmarks.conftest import cmip_trajectory
+from repro.analysis import format_table, word_entropy
+from repro.baselines import huffman_decode, huffman_encode
+from repro.bitpack import pack_bits
+from repro.core import NumarckConfig, encode_iteration
+
+
+def _run():
+    traj = cmip_trajectory("rlds", 1)
+    prev, curr = traj[0], traj[1]
+    cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+    enc = encode_iteration(prev, curr, cfg)
+
+    packed = pack_bits(enc.indices, enc.nbits)
+    packed_z = zlib.compress(packed, 6)
+    packed_h = huffman_encode(enc.indices, 1 << enc.nbits)
+    assert np.array_equal(huffman_decode(packed_h), enc.indices)
+    exact = enc.exact_values.tobytes()
+    exact_z = zlib.compress(exact, 6) if exact else b""
+    return enc, packed, packed_z, packed_h, exact, exact_z
+
+
+def test_ablation_lossless_postpass(benchmark, report):
+    enc, packed, packed_z, packed_h, exact, exact_z = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    idx_entropy = word_entropy(enc.indices)
+    rows = [
+        ["index stream entropy (bits/idx, width 8)", idx_entropy],
+        ["index stream raw (bytes)", len(packed)],
+        ["index stream + zlib (bytes)", len(packed_z)],
+        ["index stream + canonical Huffman (bytes)", len(packed_h)],
+        ["index zlib gain (%)",
+         100 * (1 - len(packed_z) / max(len(packed), 1))],
+        ["index Huffman gain (%)",
+         100 * (1 - len(packed_h) / max(len(packed), 1))],
+        ["exact stream raw (bytes)", len(exact)],
+        ["exact stream + zlib (bytes)", len(exact_z)],
+    ]
+    report(format_table(["quantity", "value"], rows, precision=2,
+                        title="Ablation: lossless post-pass over NUMARCK output"))
+
+    # The index stream must compress markedly (low zeroth-order entropy).
+    assert idx_entropy < enc.nbits - 1
+    assert len(packed_z) < 0.8 * len(packed)
+    # Huffman is the optimal zeroth-order prefix code: within ~1 bit/idx of
+    # the entropy (plus the code-length table).
+    predicted = idx_entropy * enc.indices.size / 8
+    assert len(packed_h) < predicted + enc.indices.size / 8 + 300
+    # The exact stream is raw doubles: near-incompressible.
+    if len(exact) > 4096:
+        assert len(exact_z) > 0.7 * len(exact)

@@ -1,0 +1,43 @@
+"""Fig. 1 reproduction: the change distribution of climate rlus data.
+
+Paper claim: individual snapshots are high-entropy, but "more than 75 % of
+climate rlus data remains unchanged or only changes with a percentage less
+than 0.5 %" between consecutive iterations.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cmip_trajectory
+from repro.analysis import byte_entropy, change_histogram, format_table, summarize_changes
+
+
+def _run():
+    traj = cmip_trajectory("rlus", n_iters=1)
+    prev, curr = traj[0], traj[1]
+    summary = summarize_changes(prev, curr)
+    counts, edges = change_histogram(prev, curr, bins=64)
+    return prev, curr, summary, counts, edges
+
+
+def test_fig1_change_distribution(benchmark, report):
+    prev, curr, summary, counts, edges = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    rows = [
+        ["snapshot byte entropy (bits/byte, max 8)", byte_entropy(curr)],
+        ["frac |change| < 0.1 %", summary.frac_below[0.001]],
+        ["frac |change| < 0.5 %", summary.frac_below[0.005]],
+        ["frac |change| < 1.0 %", summary.frac_below[0.01]],
+        ["median |change|", summary.median_abs],
+        ["p95 |change|", summary.p95_abs],
+    ]
+    peak = float(edges[np.argmax(counts)])
+    rows.append(["histogram mode (change ratio)", peak])
+    report(format_table(["quantity", "value"], rows, precision=4,
+                        title="Fig. 1 (C/D): rlus change distribution"))
+
+    # Paper shape assertions.
+    assert summary.frac_below[0.005] > 0.75, \
+        "paper: >75 % of rlus changes below 0.5 %"
+    assert byte_entropy(curr) > 5.0, "paper: snapshots are high-entropy"
+    assert abs(peak) < 0.01, "change distribution must peak near zero"

@@ -1,0 +1,62 @@
+"""Fig. 4 reproduction: NUMARCK on CMIP5 data, three strategies.
+
+Per variable and strategy: the incompressible ratio and mean error rate
+across iterations at E = 0.1 %, B = 8.  Paper shape: clustering achieves
+the lowest incompressible ratio, log-scale beats equal-width, CMIP data is
+harder than FLASH, and mean error stays below 0.025 % everywhere the data
+is compressible.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import CMIP_TABLE_VARS, cmip_trajectory, series_stats
+from repro.analysis import format_table
+from repro.core import NumarckConfig
+
+N_ITERS = 5
+STRATEGIES = ("equal_width", "log_scale", "clustering")
+
+
+def _run():
+    out = {}
+    for var in CMIP_TABLE_VARS:
+        traj = cmip_trajectory(var, N_ITERS)
+        out[var] = {}
+        for strat in STRATEGIES:
+            cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy=strat)
+            stats = series_stats(traj, cfg)
+            out[var][strat] = (
+                float(np.mean([s.incompressible_ratio for s in stats])),
+                float(np.mean([s.mean_error for s in stats])),
+            )
+    return out
+
+
+def test_fig4_cmip_performance(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for var in CMIP_TABLE_VARS:
+        for strat in STRATEGIES:
+            gamma, mean_err = results[var][strat]
+            rows.append([var, strat, gamma * 100, mean_err * 100])
+    report(format_table(
+        ["variable", "strategy", "incompressible %", "mean error %"],
+        rows, precision=4,
+        title=f"Fig. 4: CMIP5, E=0.1 %, B=8, {N_ITERS} iterations (means)",
+    ))
+
+    # Paper shape: clustering <= equal-width incompressible ratio on every
+    # variable; mean error far below the bound.
+    for var in CMIP_TABLE_VARS:
+        g_cl = results[var]["clustering"][0]
+        g_ew = results[var]["equal_width"][0]
+        assert g_cl <= g_ew + 0.02, f"{var}: clustering should not lose badly"
+        for strat in STRATEGIES:
+            assert results[var][strat][1] < 1e-3, \
+                f"{var}/{strat}: mean error must stay below the bound"
+    # Aggregate: clustering strictly wins on average.
+    mean_gamma = {
+        s: np.mean([results[v][s][0] for v in CMIP_TABLE_VARS]) for s in STRATEGIES
+    }
+    assert mean_gamma["clustering"] <= mean_gamma["equal_width"]
+    assert mean_gamma["clustering"] <= mean_gamma["log_scale"] + 0.02

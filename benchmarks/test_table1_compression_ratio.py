@@ -1,0 +1,78 @@
+"""Table I reproduction: compression ratio vs B-Splines and ISABELA.
+
+Ten datasets (5 CMIP5 variables + 5 FLASH variables), E = 0.5 %,
+clustering, B = 9 for CMIP / 8 for FLASH; ISABELA uses W0 = 512 / 256 with
+P_I = 30; B-Splines uses P_S = 0.8 n.  Paper shape: B-Splines is pinned at
+20 %; ISABELA at 80.078 / 75.781 %; NUMARCK wins on most datasets (9/10 in
+the paper -- mrro, whose zero-heavy base defeats the ratio transform, is
+the expected exception).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    CMIP_TABLE_VARS,
+    FLASH_TABLE_VARS,
+    cmip_trajectory,
+    series_stats,
+)
+from repro.analysis import format_table
+from repro.baselines import BSplineCompressor, IsabelaCompressor
+from repro.core import NumarckConfig
+
+N_ITERS = 4
+
+
+def _run(flash_trajectory):
+    rows = {}
+    datasets = [("cmip", v) for v in CMIP_TABLE_VARS] + [
+        ("flash", v) for v in FLASH_TABLE_VARS
+    ]
+    for family, var in datasets:
+        if family == "cmip":
+            traj = cmip_trajectory(var, N_ITERS)
+            nbits, w0 = 9, 512
+        else:
+            traj = [cp[var] for cp in flash_trajectory][: N_ITERS + 1]
+            nbits, w0 = 8, 256
+        cfg = NumarckConfig(error_bound=5e-3, nbits=nbits, strategy="clustering")
+        stats = series_stats(traj, cfg)
+        numarck = [s.ratio_paper for s in stats]
+
+        bs = BSplineCompressor(coef_fraction=0.8)
+        isa = IsabelaCompressor(window_size=w0, n_coef=30)
+        bs_r = [bs.compression_ratio(bs.compress(t)) for t in traj[1:]]
+        isa_r = [isa.compression_ratio(isa.compress(t.ravel())) for t in traj[1:]]
+        rows[var] = (
+            (float(np.mean(bs_r)), float(np.std(bs_r))),
+            (float(np.mean(isa_r)), float(np.std(isa_r))),
+            (float(np.mean(numarck)), float(np.std(numarck))),
+        )
+    return rows
+
+
+def test_table1_compression_ratio(benchmark, report, flash_trajectory):
+    results = benchmark.pedantic(_run, args=(flash_trajectory,),
+                                 rounds=1, iterations=1)
+    table = []
+    for var, (bs, isa, num) in results.items():
+        table.append([
+            var,
+            f"{bs[0]:.3f}+-{bs[1]:.3f}",
+            f"{isa[0]:.3f}+-{isa[1]:.3f}",
+            f"{num[0]:.3f}+-{num[1]:.3f}",
+        ])
+    report(format_table(
+        ["dataset", "B-Splines", "ISABELA", "NUMARCK"], table,
+        title="Table I: compression ratio (%) on ten simulation datasets",
+    ))
+
+    wins = 0
+    for var, (bs, isa, num) in results.items():
+        assert bs[0] == 20.0 or abs(bs[0] - 20.0) < 0.2, \
+            "B-Splines ratio is fixed by P_S = 0.8 n"
+        assert isa[0] in (80.078125, 75.78125) or 70 < isa[0] < 81
+        if num[0] > isa[0]:
+            wins += 1
+    # Paper: NUMARCK wins 9/10; require a clear majority here.
+    assert wins >= 6, f"NUMARCK should beat ISABELA on most datasets, won {wins}/10"

@@ -1,0 +1,87 @@
+"""Table II reproduction: Pearson rho and RMSE xi vs the baselines.
+
+Same configuration as Table I.  Paper shape: NUMARCK reaches rho = 0.999
+on almost every dataset; B-Splines' xi runs an order of magnitude above
+ISABELA's and NUMARCK's; NUMARCK's xi beats ISABELA's on (nearly) all
+datasets.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    CMIP_TABLE_VARS,
+    FLASH_TABLE_VARS,
+    cmip_trajectory,
+)
+from repro.analysis import format_table
+from repro.baselines import BSplineCompressor, IsabelaCompressor
+from repro.core import NumarckCompressor, NumarckConfig, pearson_r, rmse
+
+N_ITERS = 4
+
+
+def _run(flash_trajectory):
+    out = {}
+    datasets = [("cmip", v) for v in CMIP_TABLE_VARS] + [
+        ("flash", v) for v in FLASH_TABLE_VARS
+    ]
+    for family, var in datasets:
+        if family == "cmip":
+            traj = cmip_trajectory(var, N_ITERS)
+            nbits, w0 = 9, 512
+        else:
+            traj = [cp[var] for cp in flash_trajectory][: N_ITERS + 1]
+            nbits, w0 = 8, 256
+        comp = NumarckCompressor(
+            NumarckConfig(error_bound=5e-3, nbits=nbits, strategy="clustering")
+        )
+        bs = BSplineCompressor(coef_fraction=0.8)
+        isa = IsabelaCompressor(window_size=w0, n_coef=30)
+
+        metrics = {"bs": [], "isa": [], "num": []}
+        for prev, curr in zip(traj, traj[1:]):
+            num_out = comp.decompress(prev, comp.compress(prev, curr))
+            bs_out = bs.decompress(bs.compress(curr)).reshape(curr.shape)
+            isa_out = isa.decompress(isa.compress(curr.ravel())).reshape(curr.shape)
+            for key, dec in (("bs", bs_out), ("isa", isa_out), ("num", num_out)):
+                metrics[key].append((pearson_r(curr, dec), rmse(curr, dec)))
+        out[var] = {
+            key: (
+                float(np.mean([m[0] for m in vals])),
+                float(np.mean([m[1] for m in vals])),
+            )
+            for key, vals in metrics.items()
+        }
+    return out
+
+
+def test_table2_accuracy(benchmark, report, flash_trajectory):
+    results = benchmark.pedantic(_run, args=(flash_trajectory,),
+                                 rounds=1, iterations=1)
+    table = []
+    for var, m in results.items():
+        table.append([
+            var,
+            m["bs"][0], m["isa"][0], m["num"][0],
+            m["bs"][1], m["isa"][1], m["num"][1],
+        ])
+    report(format_table(
+        ["dataset", "rho B-Spl", "rho ISA", "rho NUM",
+         "xi B-Spl", "xi ISA", "xi NUM"],
+        table, precision=4,
+        title="Table II: accuracy (Pearson rho, RMSE xi) on ten datasets",
+    ))
+
+    high_rho = sum(1 for m in results.values() if m["num"][0] > 0.995)
+    assert high_rho >= 8, "NUMARCK should reach rho ~0.999 on most datasets"
+
+    # B-Splines' xi must be the worst by a wide margin in aggregate.
+    xi_ratio = np.mean([
+        m["bs"][1] / max(m["num"][1], 1e-12) for m in results.values()
+    ])
+    assert xi_ratio > 2.0, "paper: B-Splines xi an order of magnitude worse"
+
+    num_beats_isa = sum(
+        1 for m in results.values() if m["num"][1] <= m["isa"][1] * 1.05
+    )
+    assert num_beats_isa >= 6, "NUMARCK should match or beat ISABELA's xi"

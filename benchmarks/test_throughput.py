@@ -1,0 +1,80 @@
+"""Throughput benchmarks: the pure-performance side of the harness.
+
+Not a paper artefact; tracks the cost of the kernels a production
+deployment cares about -- encode/decode per point, bit packing, k-means
+assignment -- so optimisation work has a regression baseline.  These use
+pytest-benchmark's normal multi-round measurement (unlike the figure
+benches, which run their experiment once).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitpack import pack_bits, unpack_bits
+from repro.core import NumarckCompressor, NumarckConfig, decode_iteration
+from repro.kmeans import assign1d, histogram_init, kmeans1d
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(7)
+    prev = rng.uniform(1.0, 2.0, N)
+    curr = prev * (1.0 + rng.normal(0.0, 0.002, N))
+    return prev, curr
+
+
+def test_encode_clustering_throughput(benchmark, pair):
+    prev, curr = pair
+    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
+                                           strategy="clustering"))
+    enc = benchmark(comp.compress, prev, curr)
+    assert enc.n_points == N
+
+
+def test_encode_equal_width_throughput(benchmark, pair):
+    prev, curr = pair
+    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
+                                           strategy="equal_width"))
+    enc = benchmark(comp.compress, prev, curr)
+    assert enc.n_points == N
+
+
+def test_decode_throughput(benchmark, pair):
+    prev, curr = pair
+    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8))
+    enc = comp.compress(prev, curr)
+    out = benchmark(decode_iteration, prev, enc)
+    assert out.shape == (N,)
+
+
+def test_bitpack_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    vals = rng.integers(0, 256, N).astype(np.uint32)
+    packed = benchmark(pack_bits, vals, 9)
+    assert len(packed) == (N * 9 + 7) // 8
+
+
+def test_bitunpack_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    vals = rng.integers(0, 256, N).astype(np.uint32)
+    packed = pack_bits(vals, 9)
+    out = benchmark(unpack_bits, packed, N, 9)
+    np.testing.assert_array_equal(out, vals)
+
+
+def test_kmeans_assign_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=N)
+    centroids = np.sort(rng.normal(size=255))
+    labels = benchmark(assign1d, data, centroids)
+    assert labels.shape == (N,)
+
+
+def test_kmeans_fit_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=50_000)
+    init = histogram_init(data, 255)
+    res = benchmark(kmeans1d, data, init, 10)
+    assert res.centroids.shape == (255,)

@@ -1,0 +1,50 @@
+"""Adaptive checkpoint cadence (paper future work): write full checkpoints
+only when the error budget or compressibility demands one.
+
+A fixed cadence wastes I/O when the simulation is quiet and accumulates
+error when it is violent; the controller watches each delta's stats and
+decides when to re-anchor the chain.
+
+Run:  python examples/adaptive_checkpointing.py
+"""
+
+import numpy as np
+
+from repro.analysis import CadenceController
+from repro.core import CheckpointChain, NumarckConfig, open_loop_error_bound
+from repro.simulations.cmip import CmipSimulation
+
+N_DAYS = 40
+cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+controller = CadenceController(error_budget=1.5e-3, gamma_threshold=0.5,
+                               max_depth=16)
+
+sim = CmipSimulation("rlds", nlat=45, nlon=72, seed=2)
+state = sim.checkpoint()["rlds"]
+chain = CheckpointChain(state, cfg)
+full_checkpoints = [0]
+
+print(f"{'day':>4s} {'depth':>6s} {'gamma %':>8s} {'acc err':>9s}  action")
+for day in range(1, N_DAYS + 1):
+    sim.advance()
+    state = sim.checkpoint()["rlds"]
+    stats = chain.append(state)
+    decision = controller.observe_delta(stats)
+    action = ""
+    if decision.write_full:
+        action = f"FULL checkpoint ({decision.reason})"
+        chain = CheckpointChain(state, cfg)
+        controller.notify_full_checkpoint()
+        full_checkpoints.append(day)
+    if decision.write_full or day % 10 == 0:
+        print(f"{day:4d} {decision.depth:6d} "
+              f"{stats.incompressible_ratio * 100:8.2f} "
+              f"{decision.accumulated_error:9.2e}  {action}")
+
+depths = np.diff(full_checkpoints + [N_DAYS])
+print(f"\nfull checkpoints at days {full_checkpoints}")
+print(f"chain depths: {[int(d) for d in depths]}")
+print(f"worst-case restart error bound at max depth: "
+      f"{open_loop_error_bound(cfg.error_bound, int(depths.max())):.2e}")
+assert len(full_checkpoints) > 1, "the controller should have fired"
+assert len(full_checkpoints) < N_DAYS, "but not on every iteration"

@@ -1,0 +1,57 @@
+"""Checkpointing an adaptive mesh (FLASH's block-structured AMR).
+
+A moving feature drags refinement across the domain; blocks are born and
+die every few iterations.  The AMR checkpointer keeps one NUMARCK chain
+per block lifetime: persistent blocks accumulate cheap deltas, fresh
+blocks pay one full record, and any past iteration reconstructs with its
+own block population.
+
+Run:  python examples/amr_checkpointing.py
+"""
+
+import numpy as np
+
+from repro.core import NumarckConfig
+from repro.simulations.flash import AmrCheckpointer, QuadTreeMesh
+
+N_ITERS = 10
+
+
+def field(cx):
+    def fn(yy, xx):
+        return 1.0 + 5.0 * np.exp(-((xx - cx) ** 2 + (yy - 0.5) ** 2) / 0.05**2)
+    return fn
+
+
+mesh = QuadTreeMesh(block_size=16, base=2, max_level=3)
+ckpt = AmrCheckpointer(NumarckConfig(error_bound=1e-3, nbits=8,
+                                     strategy="clustering"))
+
+print(f"{'iter':>4s} {'cx':>5s} {'leaves':>7s} {'born':>5s} {'died':>5s} "
+      f"{'appended':>9s}")
+for i in range(N_ITERS):
+    cx = 0.2 + 0.6 * i / (N_ITERS - 1)
+    mesh.sample(field(cx))
+    mesh.adapt(refine_above=0.5, coarsen_below=0.05)
+    mesh.sample(field(cx))
+    stats = ckpt.record(mesh.snapshot())
+    print(f"{i:4d} {cx:5.2f} {stats['blocks']:7d} {stats['born']:5d} "
+          f"{stats['died']:5d} {stats['appended']:9d}")
+
+# Reconstruct an early iteration with its own (different) mesh.
+early = ckpt.reconstruct(1)
+late = ckpt.reconstruct(N_ITERS - 1)
+print(f"\niteration 1 had {len(early)} blocks; "
+      f"iteration {N_ITERS - 1} has {len(late)} blocks")
+print(f"chains across all block lifetimes: {ckpt.n_chains}")
+
+# Verify every reconstructed block of the final iteration.
+truth = mesh.snapshot()
+worst = max(
+    float(np.max(np.abs(late[k] - truth[k]) / np.maximum(np.abs(truth[k]),
+                                                         1e-12)))
+    for k in truth
+)
+print(f"worst relative reconstruction error at final iteration: {worst:.2e}")
+assert worst < 2e-2
+print("adaptive-mesh checkpoint/reconstruct verified")

@@ -1,0 +1,60 @@
+"""What NUMARCK compression buys at system level.
+
+Measures NUMARCK's compression ratio on live hydro data, then runs it
+through the Young/Daly checkpoint-economics model at exascale-ish
+parameters: optimal checkpoint interval, time-waste fraction and total
+wall time for a 72-hour campaign, raw vs compressed.
+
+Run:  python examples/checkpoint_economics.py
+"""
+
+import numpy as np
+
+from repro.core import NumarckCompressor, NumarckConfig
+from repro.resilience import (
+    CheckpointCostModel,
+    expected_makespan,
+    simulate_makespan,
+    young_interval,
+)
+from repro.simulations.flash import FlashSimulation
+
+# -- measure the ratio on real(istic) checkpoint data ----------------------
+sim = FlashSimulation("sedov", ny=64, nx=64, steps_per_checkpoint=3)
+for _ in range(4):
+    sim.advance()
+comp = NumarckCompressor(NumarckConfig(error_bound=5e-3, nbits=8,
+                                       strategy="clustering"))
+ratios = []
+prev = sim.checkpoint()
+for _ in range(3):
+    sim.advance()
+    curr = sim.checkpoint()
+    for var in ("dens", "pres", "temp", "ener", "eint"):
+        ratios.append(comp.stats(prev[var], curr[var]).ratio_paper)
+    prev = curr
+measured = float(np.mean(ratios))
+print(f"measured NUMARCK compression ratio: {measured:.1f} % "
+      f"(E=0.5 %, B=8, clustering)\n")
+
+# -- run it through the checkpoint-economics model --------------------------
+DATA = 2e14        # 200 TB of state
+BW = 2e12          # 2 TB/s filesystem
+MTBF = 6 * 3600.0  # one failure per 6 hours
+WORK = 72 * 3600.0
+
+print(f"{'mode':10s} {'C (s)':>8s} {'T* (min)':>9s} {'waste':>7s} "
+      f"{'analytic':>9s} {'simulated':>10s}")
+for label, ratio in (("raw", 0.0), ("NUMARCK", measured)):
+    cost = CheckpointCostModel(DATA, BW, compression_ratio=ratio)
+    c, r = cost.checkpoint_time, cost.restart_time
+    t = young_interval(c, MTBF)
+    analytic = expected_makespan(WORK, t, c, r, MTBF)
+    sim_time = simulate_makespan(WORK, t, c, r, MTBF,
+                                 rng=np.random.default_rng(1), n_runs=16)
+    print(f"{label:10s} {c:8.1f} {t / 60:9.1f} "
+          f"{analytic / WORK - 1:7.2%} {analytic / 3600:8.1f}h "
+          f"{sim_time / 3600:9.1f}h")
+
+print("\ncompression cuts both the checkpoint cost C and (via sqrt(C))")
+print("the optimal interval, protecting more work with less overhead")

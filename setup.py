@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline machines where the ``wheel`` package
+(required for PEP 660 editable wheels) is unavailable -- pip then falls
+back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

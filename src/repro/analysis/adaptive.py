@@ -1,0 +1,103 @@
+"""Adaptive checkpoint cadence (paper future work).
+
+"... adaptation of these techniques can help enable ... determining
+dynamic checkpointing frequency based on how evolving distributions
+change."  Two signals NUMARCK computes anyway make a natural controller:
+
+* the **incompressible ratio** of each delta -- when the change
+  distribution stops being representable, deltas stop paying for
+  themselves and a fresh *full* checkpoint resets the chain;
+* the **chain depth** -- under the paper's open-loop references, value
+  error accumulates roughly linearly in depth, so a depth cap bounds the
+  worst-case restart error at ``depth x E``.
+
+:class:`CadenceController` combines both: it recommends writing a full
+checkpoint when the estimated accumulated error budget is spent, when the
+incompressible ratio crosses a threshold (compression no longer worth it),
+or when a maximum depth is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import CompressionStats
+
+__all__ = ["CadenceController", "CadenceDecision"]
+
+
+@dataclass(frozen=True)
+class CadenceDecision:
+    """Controller output for one appended delta."""
+
+    write_full: bool
+    reason: str
+    depth: int
+    accumulated_error: float
+
+
+class CadenceController:
+    """Decide, per delta, whether the next checkpoint should be full.
+
+    Parameters
+    ----------
+    error_budget:
+        Bound on the *accumulated* mean ratio error along the open-loop
+        chain (sum of per-delta mean errors -- the first-order growth law
+        Fig. 8 exhibits).  A restart from the chain stays within roughly
+        this mean deviation.
+    gamma_threshold:
+        Incompressible ratio above which a delta is judged not worth
+        storing as a delta (e.g. 0.5: half the points raw anyway).
+    max_depth:
+        Hard cap on deltas per full checkpoint.
+    """
+
+    def __init__(self, error_budget: float = 5e-3, gamma_threshold: float = 0.5,
+                 max_depth: int = 32) -> None:
+        if error_budget <= 0:
+            raise ValueError(f"error_budget must be positive, got {error_budget}")
+        if not 0 < gamma_threshold <= 1:
+            raise ValueError(f"gamma_threshold must be in (0, 1], got {gamma_threshold}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.error_budget = error_budget
+        self.gamma_threshold = gamma_threshold
+        self.max_depth = max_depth
+        self._depth = 0
+        self._acc_error = 0.0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def notify_full_checkpoint(self) -> None:
+        """Reset after a full checkpoint has been written."""
+        self._depth = 0
+        self._acc_error = 0.0
+
+    def observe_delta(self, stats: CompressionStats) -> CadenceDecision:
+        """Register one appended delta; returns the recommendation."""
+        self._depth += 1
+        self._acc_error += stats.mean_error
+
+        if stats.incompressible_ratio >= self.gamma_threshold:
+            reason = (f"incompressible ratio {stats.incompressible_ratio:.2f} "
+                      f">= {self.gamma_threshold}")
+            write_full = True
+        elif self._acc_error >= self.error_budget:
+            reason = (f"accumulated mean error {self._acc_error:.2e} "
+                      f">= budget {self.error_budget:.2e}")
+            write_full = True
+        elif self._depth >= self.max_depth:
+            reason = f"depth {self._depth} >= max {self.max_depth}"
+            write_full = True
+        else:
+            reason = "within budget"
+            write_full = False
+        return CadenceDecision(
+            write_full=write_full,
+            reason=reason,
+            depth=self._depth,
+            accumulated_error=self._acc_error,
+        )

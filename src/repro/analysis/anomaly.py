@@ -1,0 +1,114 @@
+"""Soft-error / regime-change detection from change distributions.
+
+The paper's future-work section: "NUMARCK's mechanisms in learning the
+evolving data distributions can also enable understanding anomalies at
+scale, thereby potentially identifying erroneous calculations due to soft
+errors or hardware errors."
+
+:class:`DriftDetector` implements that idea as an online monitor.  Feed it
+each iteration's state (or, cheaper, the change histogram NUMARCK already
+computes for free during encoding); it keeps a rolling baseline of the
+Jensen-Shannon divergence between consecutive change histograms and flags
+iterations whose drift exceeds ``threshold`` times the rolling median.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.distribution import distribution_drift
+from repro.core.change import change_ratios
+
+__all__ = ["DriftDetector", "DriftReading"]
+
+
+@dataclass(frozen=True)
+class DriftReading:
+    """One monitored step."""
+
+    iteration: int
+    drift: float
+    baseline: float
+    anomalous: bool
+
+
+class DriftDetector:
+    """Online change-distribution monitor.
+
+    Parameters
+    ----------
+    bins:
+        Histogram resolution over the clipped ratio range.
+    clip:
+        Ratios are clipped to ``[-clip, clip]`` so a handful of outliers
+        land in the edge bins instead of stretching the binning.
+    window:
+        Rolling window (in steps) for the baseline median drift.
+    threshold:
+        Flag when drift exceeds ``threshold x`` the rolling median.
+    warmup:
+        Steps to observe before flagging anything (the baseline needs
+        samples to be meaningful).
+    """
+
+    def __init__(self, bins: int = 128, clip: float = 0.05, window: int = 20,
+                 threshold: float = 4.0, warmup: int = 3) -> None:
+        if bins < 8:
+            raise ValueError(f"bins must be >= 8, got {bins}")
+        if clip <= 0:
+            raise ValueError(f"clip must be positive, got {clip}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if threshold <= 1.0:
+            raise ValueError(f"threshold must exceed 1, got {threshold}")
+        self.bins = bins
+        self.clip = clip
+        self.window = window
+        self.threshold = threshold
+        self.warmup = warmup
+        self._prev_state: np.ndarray | None = None
+        self._prev_hist: np.ndarray | None = None
+        self._drifts: deque[float] = deque(maxlen=window)
+        self._iteration = 0
+        self.readings: list[DriftReading] = []
+
+    def _histogram(self, prev: np.ndarray, curr: np.ndarray) -> np.ndarray:
+        field = change_ratios(prev, curr)
+        r = np.clip(field.ratios[~field.forced_exact], -self.clip, self.clip)
+        counts, _ = np.histogram(r, bins=self.bins, range=(-self.clip, self.clip))
+        # Avoid empty-histogram corner cases downstream.
+        return counts + (1 if counts.sum() == 0 else 0)
+
+    def observe(self, state: np.ndarray) -> DriftReading | None:
+        """Feed the next iteration's state; returns a reading from step 2 on."""
+        state = np.asarray(state, dtype=np.float64)
+        self._iteration += 1
+        if self._prev_state is None:
+            self._prev_state = state.copy()
+            return None
+        hist = self._histogram(self._prev_state, state)
+        self._prev_state = state.copy()
+        if self._prev_hist is None:
+            self._prev_hist = hist
+            return None
+        drift = distribution_drift(self._prev_hist, hist)
+        self._prev_hist = hist
+
+        baseline = float(np.median(self._drifts)) if self._drifts else drift
+        warmed = len(self._drifts) >= self.warmup
+        anomalous = warmed and baseline > 0 and drift > self.threshold * baseline
+        # Anomalous drifts are excluded from the baseline so a detected
+        # event does not desensitise the detector.
+        if not anomalous:
+            self._drifts.append(drift)
+        reading = DriftReading(self._iteration, drift, baseline, anomalous)
+        self.readings.append(reading)
+        return reading
+
+    @property
+    def flagged(self) -> list[int]:
+        """Iterations flagged so far."""
+        return [r.iteration for r in self.readings if r.anomalous]

@@ -1,0 +1,102 @@
+"""Change-ratio distribution diagnostics.
+
+Reproduces the paper's Fig. 1C/1D view of an iteration pair (where do the
+changes fall, how concentrated are they) and implements the future-work
+idea of *tracking* the distribution across iterations: a drifting change
+distribution signals regime changes or soft errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.change import change_ratios
+
+__all__ = ["ChangeSummary", "summarize_changes", "change_histogram",
+           "distribution_drift"]
+
+
+@dataclass(frozen=True)
+class ChangeSummary:
+    """Summary statistics of one iteration pair's change ratios."""
+
+    n_points: int
+    n_forced_exact: int
+    frac_below: dict[float, float]
+    median_abs: float
+    p95_abs: float
+    max_abs: float
+
+    def frac_unchanged(self, threshold: float = 0.005) -> float:
+        """Fraction of points changing by less than ``threshold`` (0.5 %)."""
+        return self.frac_below.get(threshold, float("nan"))
+
+
+def summarize_changes(prev: np.ndarray, curr: np.ndarray,
+                      thresholds: tuple[float, ...] = (0.001, 0.005, 0.01, 0.05),
+                      ) -> ChangeSummary:
+    """Paper-Fig.-1 style summary of the relative changes between iterates."""
+    field = change_ratios(prev, curr)
+    valid = np.abs(field.ratios[~field.forced_exact])
+    if valid.size == 0:
+        frac = {t: 1.0 for t in thresholds}
+        return ChangeSummary(field.n_points, int(field.forced_exact.sum()),
+                             frac, 0.0, 0.0, 0.0)
+    frac = {t: float(np.mean(valid < t)) for t in thresholds}
+    return ChangeSummary(
+        n_points=field.n_points,
+        n_forced_exact=int(field.forced_exact.sum()),
+        frac_below=frac,
+        median_abs=float(np.median(valid)),
+        p95_abs=float(np.percentile(valid, 95)),
+        max_abs=float(valid.max()),
+    )
+
+
+def change_histogram(prev: np.ndarray, curr: np.ndarray, bins: int = 255,
+                     clip_percentile: float = 99.5,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of change ratios (counts, edges), tails clipped for display.
+
+    Mirrors Fig. 1D / Fig. 3: the central mass of the distribution at a
+    fixed bin count; ratios beyond the clip percentile are folded into the
+    edge bins so a single outlier cannot flatten the histogram.
+    """
+    field = change_ratios(prev, curr)
+    vals = field.ratios[~field.forced_exact]
+    if vals.size == 0:
+        return np.zeros(bins, dtype=np.int64), np.linspace(-1, 1, bins + 1)
+    lo = float(np.percentile(vals, 100 - clip_percentile))
+    hi = float(np.percentile(vals, clip_percentile))
+    if lo == hi:
+        lo, hi = lo - 1e-12, hi + 1e-12
+    clipped = np.clip(vals, lo, hi)
+    counts, edges = np.histogram(clipped, bins=bins, range=(lo, hi))
+    return counts, edges
+
+
+def distribution_drift(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
+    """Jensen-Shannon divergence (bits) between two histograms.
+
+    Both histograms must share a binning (same length).  0 means identical
+    distributions; 1 is the maximum.  A spike in drift between consecutive
+    iterations flags an abrupt regime change -- the paper's proposed
+    anomaly signal.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"histograms must share a binning: {a.shape} vs {b.shape}")
+    if a.sum() == 0 or b.sum() == 0:
+        raise ValueError("histograms must be non-empty")
+    p = a / a.sum()
+    q = b / b.sum()
+    m = 0.5 * (p + q)
+
+    def _kl(x: np.ndarray, y: np.ndarray) -> float:
+        mask = x > 0
+        return float((x[mask] * np.log2(x[mask] / y[mask])).sum())
+
+    return 0.5 * _kl(p, m) + 0.5 * _kl(q, m)

@@ -1,0 +1,49 @@
+"""Plain-text tables and series for benchmark output.
+
+Every benchmark prints its reproduction of a paper table/figure through
+these helpers so EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 3, title: str | None = None) -> str:
+    """Fixed-width table with a header rule; floats at ``precision``."""
+    cells = [[_fmt_cell(v, precision) for v in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(str(h)), *(len(r[j]) for r in cells)) if cells else len(str(h))
+        for j, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float], precision: int = 4,
+                  per_line: int = 10) -> str:
+    """A labelled numeric series, wrapped for readability."""
+    chunks = []
+    vals = [f"{v:.{precision}f}" for v in values]
+    for i in range(0, len(vals), per_line):
+        chunks.append(" ".join(vals[i : i + per_line]))
+    body = "\n  ".join(chunks) if chunks else "(empty)"
+    return f"{name} [{len(values)} values]:\n  {body}"

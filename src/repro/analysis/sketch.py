@@ -1,0 +1,183 @@
+"""Mergeable change-ratio sketches for communication-light model fitting.
+
+The in-situ encoder's sample-gather costs O(ranks x sample) traffic and
+loses tail resolution.  A :class:`RatioSketch` is a fixed-size histogram
+over a *deterministic* binning of ``asinh(ratio / error_bound)``:
+
+* the binning depends only on ``(error_bound, bins, max_magnitude)``, so
+  sketches built independently on different ranks are **mergeable** by
+  adding their count arrays -- one O(bins) allreduce replaces the gather;
+* asinh spacing gives near-uniform resolution in *units of the error
+  bound* for small ratios and logarithmic resolution for large ones; with
+  the defaults (16384 bins over magnitude ``1e3``) every ratio up to about
+  ``1000 x E`` sits in a bin narrower than ``2 E``, so sketch-fit models can
+  cover the same points an exact fit covers -- beyond that the bins are
+  coarser than the tolerance and those (rare, huge) changes fall back to
+  exact storage, a deliberate resolution-for-traffic trade;
+* :meth:`fit_model` runs *weighted* k-means over the occupied bin centers
+  (clustering a histogram of its data), yielding the same kind of
+  :class:`~repro.core.strategies.base.BinModel` the exact fit produces.
+
+Every rank that holds the merged counts can fit the model locally and
+deterministically -- no broadcast of representatives is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies.base import BinModel
+from repro.kmeans import histogram_init, kmeans1d
+
+__all__ = ["RatioSketch"]
+
+
+class RatioSketch:
+    """Fixed-binning mergeable histogram of change ratios.
+
+    Parameters
+    ----------
+    error_bound:
+        The tolerance ``E``; sets the resolution scale.
+    bins:
+        Number of histogram bins (count array length; must match to merge).
+    max_magnitude:
+        Ratios beyond this magnitude land in the edge bins.
+    """
+
+    def __init__(self, error_bound: float, bins: int = 16384,
+                 max_magnitude: float = 1e3) -> None:
+        if error_bound <= 0:
+            raise ValueError(f"error_bound must be positive, got {error_bound}")
+        if bins < 16:
+            raise ValueError(f"bins must be >= 16, got {bins}")
+        if max_magnitude <= error_bound:
+            raise ValueError("max_magnitude must exceed error_bound")
+        self.error_bound = float(error_bound)
+        self.bins = int(bins)
+        self.max_magnitude = float(max_magnitude)
+        t_max = np.arcsinh(self.max_magnitude / self.error_bound)
+        #: bin edges in transformed space, symmetric about 0
+        self.t_edges = np.linspace(-t_max, t_max, bins + 1)
+        self.counts = np.zeros(bins, dtype=np.int64)
+
+    # -- construction -------------------------------------------------------
+
+    def _transform(self, ratios: np.ndarray) -> np.ndarray:
+        return np.arcsinh(np.asarray(ratios, dtype=np.float64) / self.error_bound)
+
+    def add(self, ratios: np.ndarray) -> "RatioSketch":
+        """Accumulate ratios into the sketch (chainable)."""
+        t = self._transform(np.ravel(ratios))
+        if t.size:
+            idx = np.clip(np.searchsorted(self.t_edges, t, side="right") - 1,
+                          0, self.bins - 1)
+            self.counts += np.bincount(idx, minlength=self.bins)
+        return self
+
+    def compatible(self, other: "RatioSketch") -> bool:
+        return (self.bins == other.bins
+                and self.error_bound == other.error_bound
+                and self.max_magnitude == other.max_magnitude)
+
+    def merge(self, other: "RatioSketch") -> "RatioSketch":
+        """Add another sketch's counts into this one (chainable)."""
+        if not self.compatible(other):
+            raise ValueError("cannot merge sketches with different binnings")
+        self.counts += other.counts
+        return self
+
+    def __add__(self, other: "RatioSketch") -> "RatioSketch":
+        out = RatioSketch(self.error_bound, self.bins, self.max_magnitude)
+        out.counts = self.counts.copy()
+        return out.merge(other)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def bin_centers(self) -> np.ndarray:
+        """Occupied-bin representative ratios (inverse-transformed centers)."""
+        t_centers = 0.5 * (self.t_edges[:-1] + self.t_edges[1:])
+        return np.sinh(t_centers) * self.error_bound
+
+    def quantile(self, q: float) -> float:
+        """Approximate ratio quantile (within one bin width)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.total == 0:
+            raise ValueError("empty sketch")
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, q * self.total, side="left"))
+        idx = min(idx, self.bins - 1)
+        return float(self.bin_centers()[idx])
+
+    def fit_model(self, k: int, max_iter: int = 25) -> BinModel:
+        """Representative ratios from the sketch, via safeguarded selection.
+
+        Mirrors the serial clustering strategy's ``space="auto"``: fit
+        *weighted* k-means over the occupied bin centers both in the
+        transformed space and in linear ratio space, plus an equal-width
+        candidate over the occupied range, and keep the model whose
+        weighted out-of-tolerance mass (bin centers vs nearest
+        representative) is smallest.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self.total == 0:
+            raise ValueError("cannot fit a model on an empty sketch")
+        occupied = np.flatnonzero(self.counts)
+        t_centers = 0.5 * (self.t_edges[:-1] + self.t_edges[1:])[occupied]
+        centers = np.sinh(t_centers) * self.error_bound
+        weights = self.counts[occupied].astype(np.float64)
+        if occupied.size <= k:
+            return BinModel(np.unique(centers))
+
+        def weighted_histogram_init(points: np.ndarray) -> np.ndarray:
+            """Weighted analogue of ``histogram_init``: centers of the k
+            most *weight*-populated of 4k equal-width groups -- seeding
+            from the densest-bin centers directly would collapse all seeds
+            into the distribution's core."""
+            lo_p, hi_p = float(points.min()), float(points.max())
+            if hi_p <= lo_p:
+                return histogram_init(points, k)
+            ngroups = 4 * k
+            idx = np.clip(((points - lo_p) / (hi_p - lo_p) * ngroups)
+                          .astype(np.int64), 0, ngroups - 1)
+            group_w = np.bincount(idx, weights=weights, minlength=ngroups)
+            top = np.flatnonzero(group_w)[
+                np.argsort(group_w[group_w > 0], kind="stable")[::-1][:k]
+            ]
+            width = (hi_p - lo_p) / ngroups
+            init = np.sort(lo_p + (top + 0.5) * width)
+            if np.unique(init).size < k:
+                return histogram_init(points, k)
+            return init
+
+        def seeded_kmeans(points: np.ndarray) -> np.ndarray:
+            init = weighted_histogram_init(points)
+            return kmeans1d(points, init, max_iter=max_iter,
+                            weights=weights).centroids
+
+        candidates = [
+            BinModel(np.unique(np.sinh(seeded_kmeans(t_centers))
+                               * self.error_bound)),
+            BinModel(np.unique(seeded_kmeans(centers))),
+        ]
+        # Equal-width prior over the occupied ratio range.
+        lo, hi = float(centers.min()), float(centers.max())
+        if hi > lo:
+            edges = np.linspace(lo, hi, k + 1)
+            mids = 0.5 * (edges[:-1] + edges[1:])
+            idx = np.unique(np.clip(((centers - lo) / (hi - lo) * k)
+                                    .astype(np.int64), 0, k - 1))
+            candidates.append(BinModel(mids[idx]))
+
+        def weighted_fails(model: BinModel) -> float:
+            err = np.abs(model.approximate(centers) - centers)
+            return float(weights[err >= self.error_bound].sum())
+
+        fails = [weighted_fails(m) for m in candidates]
+        return candidates[int(np.argmin(fails))]

@@ -1,0 +1,161 @@
+"""FPC: fast lossless compression of double-precision data.
+
+Reimplementation of Burtscher & Ratanaworabhan's FPC (IEEE Trans.
+Computers 2009, the paper's reference [4]) -- the lossless compressor the
+paper suggests stacking on NUMARCK's output.
+
+Per value, two table-based predictors guess the next 64-bit word:
+
+* **FCM** (finite context method): a hash of recent values indexes a table
+  of "what followed this context last time";
+* **DFCM** (differential FCM): the same idea on value *deltas*.
+
+The actual word is XORed with both predictions; the residual with more
+leading zero bytes wins.  A 4-bit header per value records the chosen
+predictor (1 bit) and the number of leading zero bytes (3 bits, capped at
+7); the remaining significant bytes follow verbatim.  Well-predicted
+streams cost little more than 0.5 byte/value; random doubles cost ~8.5 --
+which is exactly the paper's point about snapshot data.
+
+This is a clear-Python reference implementation (a per-value loop), meant
+for correctness and comparative ratios at test scale, not for bandwidth.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FpcCompressor", "FpcEncoded"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _leading_zero_bytes(x: int) -> int:
+    if x == 0:
+        return 8
+    n = 0
+    for shift in range(56, -8, -8):
+        if (x >> shift) & 0xFF:
+            break
+        n += 1
+    return n
+
+
+@dataclass(frozen=True)
+class FpcEncoded:
+    n: int
+    table_bits: int
+    payload: bytes
+
+    @property
+    def stored_bits(self) -> int:
+        return 8 * len(self.payload)
+
+
+class FpcCompressor:
+    """FCM + DFCM predictive lossless coder for float64 streams.
+
+    Parameters
+    ----------
+    table_bits:
+        log2 of the predictor table size (the original uses up to 2^25
+        entries; 16 is plenty at test scale).
+    """
+
+    def __init__(self, table_bits: int = 16) -> None:
+        if not 4 <= table_bits <= 24:
+            raise ValueError(f"table_bits must be in [4, 24], got {table_bits}")
+        self.table_bits = table_bits
+
+    # -- encoding -----------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> FpcEncoded:
+        words = np.ascontiguousarray(data, dtype=np.float64).view(np.uint64).ravel()
+        size = 1 << self.table_bits
+        mask = size - 1
+        fcm = [0] * size
+        dfcm = [0] * size
+        fhash = dhash = 0
+        last = 0
+
+        headers = bytearray()
+        body = bytearray()
+        half = None
+        for w in map(int, words):
+            pred_f = fcm[fhash]
+            pred_d = (dfcm[dhash] + last) & _MASK64
+            res_f = w ^ pred_f
+            res_d = w ^ pred_d
+            lz_f = _leading_zero_bytes(res_f)
+            lz_d = _leading_zero_bytes(res_d)
+            if lz_f >= lz_d:
+                sel, res, lz = 0, res_f, lz_f
+            else:
+                sel, res, lz = 1, res_d, lz_d
+            lz = min(lz, 7)
+            code = (sel << 3) | lz
+            if half is None:
+                half = code
+            else:
+                headers.append((half << 4) | code)
+                half = None
+            nbytes = 8 - lz
+            body += res.to_bytes(8, "big")[8 - nbytes :] if nbytes else b""
+
+            # Table updates (identical on decode).
+            fcm[fhash] = w
+            fhash = ((fhash << 6) ^ (w >> 48)) & mask
+            delta = (w - last) & _MASK64
+            dfcm[dhash] = delta
+            dhash = ((dhash << 2) ^ (delta >> 40)) & mask
+            last = w
+        if half is not None:
+            headers.append(half << 4)
+        payload = struct.pack("<QB", words.size, self.table_bits) + \
+            bytes(headers) + bytes(body)
+        return FpcEncoded(n=int(words.size), table_bits=self.table_bits,
+                          payload=payload)
+
+    # -- decoding -----------------------------------------------------------
+
+    def decompress(self, encoded: FpcEncoded) -> np.ndarray:
+        buf = encoded.payload
+        n, table_bits = struct.unpack_from("<QB", buf, 0)
+        off = 9
+        n_header_bytes = (n + 1) // 2
+        headers = buf[off : off + n_header_bytes]
+        off += n_header_bytes
+
+        size = 1 << table_bits
+        mask = size - 1
+        fcm = [0] * size
+        dfcm = [0] * size
+        fhash = dhash = 0
+        last = 0
+        out = np.empty(n, dtype=np.uint64)
+        pos = off
+        for i in range(n):
+            code = headers[i // 2]
+            code = (code >> 4) if i % 2 == 0 else (code & 0x0F)
+            sel = code >> 3
+            lz = code & 0x07
+            nbytes = 8 - lz
+            res = int.from_bytes(buf[pos : pos + nbytes], "big") if nbytes else 0
+            pos += nbytes
+            pred = fcm[fhash] if sel == 0 else (dfcm[dhash] + last) & _MASK64
+            w = res ^ pred
+            out[i] = w
+            fcm[fhash] = w
+            fhash = ((fhash << 6) ^ (w >> 48)) & mask
+            delta = (w - last) & _MASK64
+            dfcm[dhash] = delta
+            dhash = ((dhash << 2) ^ (delta >> 40)) & mask
+            last = w
+        return out.view(np.float64)
+
+    def compression_ratio(self, encoded: FpcEncoded) -> float:
+        """Percent size reduction vs raw doubles (can be negative)."""
+        return 100.0 * (1.0 - encoded.stored_bits / (encoded.n * 64.0))

@@ -1,0 +1,21 @@
+"""Bit-level packing of fixed-width integer indices.
+
+NUMARCK stores one *B*-bit index per data point (the paper's approximation
+precision parameter ``B``, typically 8--10 bits).  NumPy has no native
+sub-byte integer arrays, so this package provides vectorised routines to
+pack an array of small non-negative integers into a contiguous byte stream
+and to recover it exactly.
+
+The layout is little-endian at the bit level: index ``i`` occupies bits
+``[i*B, (i+1)*B)`` of the stream, where bit ``k`` is bit ``k % 8`` of byte
+``k // 8``.  This matches what a C implementation using shift-or into a
+64-bit accumulator would produce and is independent of host endianness.
+"""
+
+from repro.bitpack.packing import (
+    pack_bits,
+    packed_nbytes,
+    unpack_bits,
+)
+
+__all__ = ["pack_bits", "unpack_bits", "packed_nbytes"]

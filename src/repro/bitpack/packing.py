@@ -1,0 +1,118 @@
+"""Vectorised pack/unpack of B-bit unsigned integers.
+
+The implementation avoids Python-level loops over elements: values are
+exploded into a ``(n, B)`` bit matrix with broadcasting, flattened to a bit
+stream, and folded into bytes with :func:`numpy.packbits` (and the reverse
+with :func:`numpy.unpackbits`).  Cost is O(n*B) bit operations performed in
+C, which is adequate for checkpoint-sized arrays (tens of millions of
+points) and keeps the code portable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "packed_nbytes"]
+
+_MAX_WIDTH = 32
+
+
+def _check_width(width: int) -> None:
+    if not isinstance(width, (int, np.integer)):
+        raise TypeError(f"width must be an int, got {type(width).__name__}")
+    if not 1 <= width <= _MAX_WIDTH:
+        raise ValueError(f"width must be in [1, {_MAX_WIDTH}], got {width}")
+
+
+def packed_nbytes(count: int, width: int) -> int:
+    """Number of bytes needed to store ``count`` values of ``width`` bits."""
+    _check_width(width)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return (count * width + 7) // 8
+
+
+def pack_bits(values: np.ndarray, width: int) -> bytes:
+    """Pack non-negative integers into a little-endian-bit byte stream.
+
+    Parameters
+    ----------
+    values:
+        1-D array of non-negative integers, each ``< 2**width``.
+    width:
+        Bit width ``B`` of each value, ``1 <= B <= 32``.
+
+    Returns
+    -------
+    bytes
+        ``packed_nbytes(len(values), width)`` bytes.
+    """
+    _check_width(width)
+    vals = np.ascontiguousarray(values)
+    if vals.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {vals.shape}")
+    if vals.size == 0:
+        return b""
+    if not np.issubdtype(vals.dtype, np.integer):
+        raise TypeError(f"values must be integers, got dtype {vals.dtype}")
+    vals = vals.astype(np.uint64, copy=False)
+    limit = np.uint64(1) << np.uint64(width)
+    if vals.max() >= limit:
+        raise ValueError(f"values exceed {width}-bit range (max={int(vals.max())})")
+
+    # Byte-aligned widths are direct casts (little-endian), ~10x faster
+    # than the generic bit-matrix path and bit-identical to it.
+    if width == 8:
+        return vals.astype("<u1").tobytes()
+    if width == 16:
+        return vals.astype("<u2").tobytes()
+    if width == 32:
+        return vals.astype("<u4").tobytes()
+
+    # (n, width) matrix of bits, LSB first within each value.
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = ((vals[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes | bytearray | np.ndarray, count: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Parameters
+    ----------
+    data:
+        Byte stream produced by :func:`pack_bits` (extra trailing bytes are
+        ignored; too-short input raises ``ValueError``).
+    count:
+        Number of values to recover.
+    width:
+        Bit width used when packing.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``count`` values as ``uint32`` (or ``uint64`` when ``width > 31``
+        would overflow the accumulator -- the dtype is always wide enough).
+    """
+    _check_width(width)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.uint32)
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    need = packed_nbytes(count, width)
+    if raw.size < need:
+        raise ValueError(f"need {need} bytes for {count} x {width}-bit values, got {raw.size}")
+    if width == 8:
+        return raw[:need].astype(np.uint32)
+    if width == 16:
+        return raw[:need].view("<u2").astype(np.uint32)
+    if width == 32:
+        return raw[:need].view("<u4").astype(np.uint32)
+    bits = np.unpackbits(raw[:need], bitorder="little")[: count * width]
+    bits = bits.reshape(count, width).astype(np.uint64)
+    shifts = np.arange(width, dtype=np.uint64)
+    out = (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+    if width <= 32:
+        return out.astype(np.uint32)
+    return out

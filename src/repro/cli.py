@@ -1,0 +1,337 @@
+"""Command-line interface.
+
+Single-variable chains operate on ``.npy`` arrays::
+
+    python -m repro init   chain.nmk first.npy
+    python -m repro append chain.nmk second.npy --error-bound 1e-3 \
+        --nbits 8 --strategy clustering
+    python -m repro extract chain.nmk --iteration 2 --output state.npy
+    python -m repro inspect chain.nmk
+
+Whole checkpoints (every variable in one file) operate on ``.npz``
+archives, mirroring how a simulation writes one multi-variable checkpoint::
+
+    python -m repro init-multi    ckpt.nmk step000.npz --error-bound 1e-3
+    python -m repro append-multi  ckpt.nmk step010.npz
+    python -m repro extract-multi ckpt.nmk -o restart.npz
+
+``append`` reuses the previous delta's parameters when flags are omitted,
+so a chain stays self-consistent without repeating configuration;
+``inspect`` understands both file flavours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CheckpointChain, NumarckConfig, VariableSet
+from repro.core.metrics import compression_ratio_paper
+from repro.io import load_chain, save_chain
+
+__all__ = ["main"]
+
+
+def _load_array(path: str) -> np.ndarray:
+    arr = np.load(path, allow_pickle=False)
+    return np.asarray(arr, dtype=np.float64)
+
+
+def _config_from_args(args: argparse.Namespace,
+                      fallback: NumarckConfig | None = None) -> NumarckConfig:
+    base = fallback if fallback is not None else NumarckConfig()
+    kwargs = {}
+    if args.error_bound is not None:
+        kwargs["error_bound"] = args.error_bound
+    elif fallback is not None:
+        kwargs["error_bound"] = base.error_bound
+    if args.nbits is not None:
+        kwargs["nbits"] = args.nbits
+    elif fallback is not None:
+        kwargs["nbits"] = base.nbits
+    if args.strategy is not None:
+        kwargs["strategy"] = args.strategy
+    elif fallback is not None:
+        kwargs["strategy"] = base.strategy
+    return NumarckConfig(**kwargs) if kwargs else NumarckConfig()
+
+
+def _add_config_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--error-bound", type=float, default=None,
+                   help="per-point tolerance E on the change ratio")
+    p.add_argument("--nbits", type=int, default=None,
+                   help="index width B (table has 2^B - 1 bins)")
+    p.add_argument("--strategy", default=None,
+                   choices=("equal_width", "log_scale", "clustering"))
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    data = _load_array(args.array)
+    chain = CheckpointChain(data, _config_from_args(args))
+    nbytes = save_chain(args.chain, chain)
+    print(f"{args.chain}: full checkpoint, {data.size} points, {nbytes} bytes")
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    chain_path = Path(args.chain)
+    if not chain_path.exists():
+        print(f"error: {args.chain} does not exist (run 'init' first)",
+              file=sys.stderr)
+        return 2
+    existing = load_chain(chain_path)
+    fallback = None
+    if existing.deltas:
+        last = existing.deltas[-1]
+        fallback = NumarckConfig(error_bound=last.error_bound,
+                                 nbits=last.nbits, strategy=last.strategy)
+    config = _config_from_args(args, fallback)
+    chain = load_chain(chain_path, config)
+    stats = chain.append(_load_array(args.array))
+    nbytes = save_chain(chain_path, chain)
+    print(f"{args.chain}: iteration {len(chain) - 1} appended | "
+          f"gamma={stats.incompressible_ratio:.4f} "
+          f"R={stats.ratio_paper:.2f}% "
+          f"mean_err={stats.mean_error:.2e} | file {nbytes} bytes")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    chain = load_chain(args.chain)
+    state = chain.reconstruct(args.iteration)
+    np.save(args.output, state)
+    it = args.iteration if args.iteration is not None else len(chain) - 1
+    print(f"{args.output}: iteration {it}, shape {state.shape}")
+    return 0
+
+
+def _load_npz(path: str) -> dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=False) as npz:
+        return {k: np.asarray(npz[k], dtype=np.float64) for k in npz.files}
+
+
+def _cmd_init_multi(args: argparse.Namespace) -> int:
+    checkpoint = _load_npz(args.checkpoint)
+    if not checkpoint:
+        print("error: checkpoint archive is empty", file=sys.stderr)
+        return 2
+    vs = VariableSet(tuple(sorted(checkpoint)), _config_from_args(args))
+    vs.record(checkpoint)
+    nbytes = vs.save(args.chain)
+    print(f"{args.chain}: {len(checkpoint)} variables "
+          f"({', '.join(sorted(checkpoint))}), {nbytes} bytes")
+    return 0
+
+
+def _cmd_append_multi(args: argparse.Namespace) -> int:
+    chain_path = Path(args.chain)
+    if not chain_path.exists():
+        print(f"error: {args.chain} does not exist (run 'init-multi' first)",
+              file=sys.stderr)
+        return 2
+    existing = VariableSet.load(chain_path)
+    fallback = None
+    any_chain = existing.chain(existing.variables[0])
+    if any_chain.deltas:
+        last = any_chain.deltas[-1]
+        fallback = NumarckConfig(error_bound=last.error_bound,
+                                 nbits=last.nbits, strategy=last.strategy)
+    config = _config_from_args(args, fallback)
+    vs = VariableSet.load(chain_path, config)
+    stats = vs.record(_load_npz(args.checkpoint))
+    nbytes = vs.save(chain_path)
+    mean_gamma = np.mean([s.incompressible_ratio for s in stats.values()])
+    mean_ratio = np.mean([s.ratio_paper for s in stats.values()])
+    print(f"{args.chain}: iteration {vs.n_checkpoints - 1} appended | "
+          f"mean gamma={mean_gamma:.4f} mean R={mean_ratio:.2f}% | "
+          f"file {nbytes} bytes")
+    return 0
+
+
+def _cmd_extract_multi(args: argparse.Namespace) -> int:
+    vs = VariableSet.load(args.chain)
+    state = vs.reconstruct(args.iteration)
+    np.savez(args.output, **state)
+    it = args.iteration if args.iteration is not None else vs.n_checkpoints - 1
+    print(f"{args.output}: iteration {it}, "
+          f"{len(state)} variables ({', '.join(sorted(state))})")
+    return 0
+
+
+def _memmap_chunks(path: str, chunk_size: int):
+    """Replayable chunk-iterator factory over a memory-mapped .npy file."""
+
+    def factory():
+        arr = np.load(path, mmap_mode="r")
+        flat = arr.reshape(-1)
+        for start in range(0, flat.size, chunk_size):
+            yield np.asarray(flat[start : start + chunk_size], dtype=np.float64)
+
+    return factory
+
+
+def _cmd_compress_stream(args: argparse.Namespace) -> int:
+    from repro.core import StreamingEncoder
+    from repro.io import save_streamed
+
+    encoder = StreamingEncoder(_config_from_args(args),
+                               chunk_size=args.chunk_size)
+    streamed = encoder.encode(_memmap_chunks(args.prev, args.chunk_size),
+                              _memmap_chunks(args.curr, args.chunk_size))
+    nbytes = save_streamed(args.output, streamed)
+    n_exact = sum(c.exact_values.size for c in streamed.chunks)
+    raw = streamed.n_points * 8
+    print(f"{args.output}: {streamed.n_points:,} points in "
+          f"{len(streamed.chunks)} chunks | exact {n_exact:,} "
+          f"({n_exact / max(streamed.n_points, 1):.2%}) | "
+          f"{nbytes:,} bytes ({nbytes / raw:.1%} of raw)")
+    return 0
+
+
+def _cmd_decompress_stream(args: argparse.Namespace) -> int:
+    from repro.core import decode_stream
+    from repro.io import load_streamed
+
+    streamed = load_streamed(args.stream)
+    ref = np.load(args.prev, mmap_mode="r")
+    if ref.size != streamed.n_points:
+        print(f"error: reference has {ref.size} points, stream has "
+              f"{streamed.n_points}", file=sys.stderr)
+        return 2
+    chunk_sizes = [c.n_points for c in streamed.chunks]
+
+    def ref_chunks():
+        flat = ref.reshape(-1)
+        pos = 0
+        for n in chunk_sizes:
+            yield np.asarray(flat[pos : pos + n], dtype=np.float64)
+            pos += n
+
+    out = np.lib.format.open_memmap(args.output, mode="w+",
+                                    dtype=np.float64,
+                                    shape=(streamed.n_points,))
+    pos = 0
+    for decoded in decode_stream(ref_chunks(), streamed):
+        out[pos : pos + decoded.size] = decoded
+        pos += decoded.size
+    out.flush()
+    print(f"{args.output}: {pos:,} points decoded")
+    return 0
+
+
+def _describe_chain(name: str, chain: CheckpointChain, indent: str = "") -> None:
+    full = chain.full_checkpoint
+    print(f"{indent}{name}: {len(chain)} iterations "
+          f"(1 full + {len(chain.deltas)} deltas), "
+          f"{full.size} points of shape {full.shape}")
+    for i, enc in enumerate(chain.deltas, start=1):
+        ratio = compression_ratio_paper(enc.n_points, enc.n_incompressible,
+                                        enc.nbits,
+                                        value_bits=enc.value_bits)
+        print(f"{indent}  delta {i}: strategy={enc.strategy} B={enc.nbits} "
+              f"E={enc.error_bound:g} bins={enc.representatives.size} "
+              f"gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}%")
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.errors import FormatError
+
+    try:
+        chain = load_chain(args.chain)
+    except FormatError:
+        vs = VariableSet.load(args.chain)
+        print(f"{args.chain}: multi-variable checkpoint, "
+              f"{len(vs.variables)} variables")
+        for name in vs.variables:
+            _describe_chain(name, vs.chain(name), indent="  ")
+        return 0
+    _describe_chain(str(args.chain), chain)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NUMARCK error-bounded checkpoint compression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a chain from a full checkpoint")
+    p.add_argument("chain", help="output .nmk chain file")
+    p.add_argument("array", help="input .npy array")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_init)
+
+    p = sub.add_parser("append", help="append one iteration to a chain")
+    p.add_argument("chain", help=".nmk chain file")
+    p.add_argument("array", help="input .npy array")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_append)
+
+    p = sub.add_parser("extract", help="decode an iteration to .npy")
+    p.add_argument("chain", help=".nmk chain file")
+    p.add_argument("--iteration", "-i", type=int, default=None,
+                   help="iteration index (default: latest)")
+    p.add_argument("--output", "-o", required=True, help="output .npy file")
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("init-multi",
+                       help="create a multi-variable chain from a .npz checkpoint")
+    p.add_argument("chain", help="output .nmk file")
+    p.add_argument("checkpoint", help="input .npz archive (one array per variable)")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_init_multi)
+
+    p = sub.add_parser("append-multi",
+                       help="append one .npz checkpoint to a multi-variable chain")
+    p.add_argument("chain", help=".nmk file")
+    p.add_argument("checkpoint", help="input .npz archive")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_append_multi)
+
+    p = sub.add_parser("extract-multi",
+                       help="decode a multi-variable iteration to .npz")
+    p.add_argument("chain", help=".nmk file")
+    p.add_argument("--iteration", "-i", type=int, default=None)
+    p.add_argument("--output", "-o", required=True, help="output .npz file")
+    p.set_defaults(func=_cmd_extract_multi)
+
+    p = sub.add_parser("compress-stream",
+                       help="chunked compression of one iteration pair "
+                            "(out-of-core, memory-mapped)")
+    p.add_argument("output", help="output .nms stream file")
+    p.add_argument("prev", help="reference iteration (.npy)")
+    p.add_argument("curr", help="iteration to compress (.npy)")
+    p.add_argument("--chunk-size", type=int, default=1 << 20,
+                   help="points per chunk (default 1M)")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_compress_stream)
+
+    p = sub.add_parser("decompress-stream",
+                       help="chunked decode of a .nms stream against its "
+                            "reference iteration")
+    p.add_argument("stream", help=".nms stream file")
+    p.add_argument("prev", help="reference iteration (.npy)")
+    p.add_argument("--output", "-o", required=True, help="output .npy file")
+    p.set_defaults(func=_cmd_decompress_stream)
+
+    p = sub.add_parser("inspect", help="summarise a chain file (either flavour)")
+    p.add_argument("chain", help=".nmk chain file")
+    p.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

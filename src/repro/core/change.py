@@ -1,0 +1,94 @@
+"""Forward predictive coding: the change-ratio transform (paper Eq. 1).
+
+``ratio = (curr - prev) / prev`` per point.  Points where the transform is
+undefined or numerically untrustworthy are *forced exact*: the encoder
+stores their raw value and the decoder splices it back in.  Forced-exact
+cases:
+
+* ``prev == 0`` and ``curr != 0`` (paper: "Note that D_{i-1,j} cannot be
+  zero.  If D_{i-1,j} is zero, D_{i,j} will be stored as it is." -- when
+  *both* iterates are zero, ratio 0 reconstructs the point bit-exactly as
+  ``0 * (1 + 0)``, so those points stay compressible; sparse fields like
+  runoff, where dry cells persist, depend on this);
+* non-finite ``prev`` or ``curr`` (NaN/inf in either iterate);
+* a non-finite or overflowing ratio (e.g. ``prev`` denormal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChangeField", "change_ratios", "apply_change"]
+
+
+@dataclass(frozen=True)
+class ChangeField:
+    """Change ratios of one iteration plus the forced-exact mask.
+
+    Attributes
+    ----------
+    ratios:
+        Float64 array, same shape as the input; entries under
+        ``forced_exact`` are set to 0.0 and must be ignored.
+    forced_exact:
+        Boolean mask of points that cannot be expressed as a ratio and must
+        be stored as raw values regardless of the error bound.
+    """
+
+    ratios: np.ndarray
+    forced_exact: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        return self.ratios.size
+
+
+def change_ratios(prev: np.ndarray, curr: np.ndarray) -> ChangeField:
+    """Compute per-point relative change ratios between two iterates.
+
+    Parameters
+    ----------
+    prev, curr:
+        Arrays of identical shape (any float/int dtype; computed in
+        float64).  ``prev`` is iteration ``i-1``, ``curr`` is iteration
+        ``i``.
+
+    Returns
+    -------
+    ChangeField
+    """
+    p = np.asarray(prev, dtype=np.float64)
+    c = np.asarray(curr, dtype=np.float64)
+    if p.shape != c.shape:
+        raise ValueError(f"shape mismatch: prev {p.shape} vs curr {c.shape}")
+
+    forced = ((p == 0.0) & (c != 0.0)) | ~np.isfinite(p) | ~np.isfinite(c)
+    # zero -> zero is representable as ratio 0 (decodes to exactly 0); make
+    # sure the division below still skips those points.
+    forced_or_zero_pair = forced | (p == 0.0)
+    ratios = np.zeros_like(c)
+    safe = ~forced_or_zero_pair
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        np.divide(c - p, p, out=ratios, where=safe)
+    # Ratios that overflowed (denormal prev) are also forced exact.
+    bad = safe & ~np.isfinite(ratios)
+    if bad.any():
+        forced = forced | bad
+        ratios[bad] = 0.0
+    return ChangeField(ratios=ratios, forced_exact=forced)
+
+
+def apply_change(prev: np.ndarray, ratios: np.ndarray) -> np.ndarray:
+    """Rebuild the next iterate from a base and change ratios.
+
+    Implements the compressible branch of the paper's restart equation:
+    ``D'_i = D'_{i-1} * (1 + ratio')``.  Forced-exact points must be
+    overwritten by the caller (see :func:`repro.core.decoder.decode_iteration`).
+    """
+    p = np.asarray(prev, dtype=np.float64)
+    r = np.asarray(ratios, dtype=np.float64)
+    if p.shape != r.shape:
+        raise ValueError(f"shape mismatch: prev {p.shape} vs ratios {r.shape}")
+    return p * (1.0 + r)

@@ -1,0 +1,188 @@
+"""Encode one iteration into the NUMARCK representation.
+
+Per-point layout (paper Algorithm 1 plus the layout decision documented in
+DESIGN.md):
+
+* index ``0`` -- change ratio below tolerance (``|ratio| < E``): decode as
+  "carry the previous value" (approximated ratio 0);
+* index ``1 .. 2**B - 1`` -- bin id; decode ratio = table[index - 1];
+* incompressible points -- flagged in a 1-bit-per-point bitmap; their raw
+  float64 values are stored densely in flat (C-order) index order, and
+  their B-bit index is set to 0 and ignored on decode.
+
+A point is incompressible when (a) the change ratio is undefined
+(``prev == 0`` or non-finite data), or (b) its assigned bin representative
+misses the true ratio by ``>= E``.  Consequently every decoded point
+satisfies the hard guarantee ``|decoded_ratio - true_ratio| < E`` or is
+bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.change import change_ratios
+from repro.core.config import NumarckConfig
+from repro.core.strategies import get_strategy
+from repro.core.strategies.base import BinModel
+
+__all__ = ["EncodedIteration", "encode_iteration"]
+
+
+@dataclass(frozen=True)
+class EncodedIteration:
+    """Compressed form of one checkpoint iteration.
+
+    Attributes
+    ----------
+    shape:
+        Original array shape.
+    nbits:
+        Index width ``B``.
+    representatives:
+        Sorted table of at most ``2**B - 1`` representative ratios
+        (possibly empty when every point was unchanged or exact).
+    indices:
+        Flat uint32 array of per-point indices (0 = below tolerance or
+        incompressible; ``j >= 1`` = ``representatives[j - 1]``).
+    incompressible:
+        Flat boolean mask of exactly stored points.
+    exact_values:
+        Raw float64 values of the incompressible points, in flat order.
+    error_bound / strategy:
+        The configuration the iteration was encoded with, kept for
+        self-description and format headers.
+    """
+
+    shape: tuple[int, ...]
+    nbits: int
+    representatives: np.ndarray
+    indices: np.ndarray
+    incompressible: np.ndarray
+    exact_values: np.ndarray
+    error_bound: float
+    strategy: str
+    zero_reserved: bool = True
+    #: bits per raw value of the *source* data (64 for float64 checkpoints,
+    #: 32 for float32 -- affects Eq.-3 accounting and how exact values are
+    #: serialised; in memory they are always held as float64).
+    value_bits: int = 64
+
+    @property
+    def n_points(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def n_incompressible(self) -> int:
+        return int(self.exact_values.size)
+
+    @property
+    def incompressible_ratio(self) -> float:
+        """The paper's gamma: fraction of points stored exactly."""
+        return self.n_incompressible / self.n_points if self.n_points else 0.0
+
+    def decoded_ratios(self) -> np.ndarray:
+        """Approximated change ratio per point (flat; 0 where incompressible)."""
+        if self.representatives.size == 0:
+            return np.zeros(self.n_points, dtype=np.float64)
+        if self.zero_reserved:
+            table = np.concatenate([[0.0], self.representatives])
+        else:
+            table = self.representatives
+        ratios = table[self.indices]
+        ratios[self.incompressible] = 0.0
+        return ratios
+
+
+def _fit_model(candidates: np.ndarray, config: NumarckConfig) -> BinModel:
+    if config.strategy == "clustering":
+        strategy = get_strategy(
+            "clustering",
+            init=config.kmeans_init,
+            max_iter=config.kmeans_max_iter,
+            seed=config.seed,
+        )
+    else:
+        strategy = get_strategy(config.strategy)
+    return strategy.fit(candidates, config.n_bins, config.error_bound)
+
+
+def encode_iteration(
+    prev: np.ndarray,
+    curr: np.ndarray,
+    config: NumarckConfig | None = None,
+) -> EncodedIteration:
+    """Compress iteration ``curr`` as change ratios against ``prev``.
+
+    Parameters
+    ----------
+    prev:
+        The reference iterate.  Under the paper's open-loop scheme this is
+        the *original* previous iteration; callers running closed-loop pass
+        the previously *decoded* state (see
+        :class:`~repro.core.checkpoint.CheckpointChain`).
+    curr:
+        The iterate to compress.
+    config:
+        Compression parameters; defaults to ``NumarckConfig()``.
+    """
+    cfg = config if config is not None else NumarckConfig()
+    curr_dtype = np.asarray(curr).dtype
+    value_bits = 32 if curr_dtype == np.float32 else 64
+    field = change_ratios(prev, curr)
+    ratios = field.ratios.ravel()
+    forced = field.forced_exact.ravel()
+    n = ratios.size
+    shape = np.asarray(curr).shape
+
+    e = cfg.error_bound
+    indices = np.zeros(n, dtype=np.uint32)
+    incompressible = forced.copy()
+
+    if cfg.reserve_zero_bin:
+        small = (np.abs(ratios) < e) & ~forced
+        candidate_mask = ~small & ~forced
+    else:
+        # Ablation mode: no reserved zero index; all defined ratios are
+        # candidates and the table must carry a near-zero bin itself.
+        candidate_mask = ~forced
+
+    cand_idx = np.flatnonzero(candidate_mask)
+    representatives = np.empty(0, dtype=np.float64)
+    if cand_idx.size:
+        candidates = ratios[cand_idx]
+        model = _fit_model(candidates, cfg)
+        representatives = model.representatives
+        labels = model.assign(candidates)
+        approx = representatives[labels]
+        fail = np.abs(approx - candidates) >= e
+        ok = ~fail
+        if cfg.reserve_zero_bin:
+            indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + 1
+        else:
+            indices[cand_idx[ok]] = labels[ok].astype(np.uint32)
+        incompressible[cand_idx[fail]] = True
+
+    exact_values = np.asarray(curr, dtype=np.float64).ravel()[incompressible].copy()
+    indices[incompressible] = 0
+
+    max_index = (1 << cfg.nbits) - 1
+    if representatives.size > (max_index if cfg.reserve_zero_bin else max_index + 1):
+        raise AssertionError(
+            "strategy produced more representatives than the index width allows"
+        )
+
+    return EncodedIteration(
+        shape=tuple(shape),
+        nbits=cfg.nbits,
+        representatives=representatives,
+        indices=indices,
+        incompressible=incompressible,
+        exact_values=exact_values,
+        error_bound=e,
+        strategy=cfg.strategy,
+        zero_reserved=cfg.reserve_zero_bin,
+        value_bits=value_bits,
+    )

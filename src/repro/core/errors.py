@@ -1,0 +1,15 @@
+"""Exception hierarchy for the NUMARCK library."""
+
+__all__ = ["NumarckError", "ConfigError", "FormatError"]
+
+
+class NumarckError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(NumarckError, ValueError):
+    """Invalid compression configuration (bad error bound, bit width, ...)."""
+
+
+class FormatError(NumarckError, ValueError):
+    """Corrupt or incompatible serialized checkpoint data."""

@@ -1,0 +1,93 @@
+"""Strategy protocol and the fitted bin model."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BinModel", "ApproximationStrategy"]
+
+
+@dataclass(frozen=True)
+class BinModel:
+    """A fitted set of representative change ratios.
+
+    Attributes
+    ----------
+    representatives:
+        ``(m,)`` float64 array with ``m <= k`` distinct representative
+        ratios, sorted ascending.  Bin ``j`` approximates every ratio
+        assigned to it by ``representatives[j]``.
+    """
+
+    representatives: np.ndarray
+
+    def __post_init__(self) -> None:
+        reps = np.asarray(self.representatives, dtype=np.float64).ravel()
+        if reps.size == 0:
+            raise ValueError("BinModel needs at least one representative")
+        if not np.all(np.isfinite(reps)):
+            raise ValueError("representatives must be finite")
+        if np.any(np.diff(reps) < 0):
+            raise ValueError("representatives must be sorted ascending")
+        object.__setattr__(self, "representatives", reps)
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.representatives.size)
+
+    def assign(self, ratios: np.ndarray) -> np.ndarray:
+        """Nearest-representative bin index (int32, in ``[0, n_bins)``).
+
+        Because representatives are sorted, nearest-neighbour assignment is
+        a binary search against adjacent midpoints -- O(n log m).
+        """
+        reps = self.representatives
+        if reps.size == 1:
+            return np.zeros(np.asarray(ratios).shape, dtype=np.int32)
+        mids = 0.5 * (reps[:-1] + reps[1:])
+        return np.searchsorted(mids, np.asarray(ratios, dtype=np.float64),
+                               side="left").astype(np.int32)
+
+    def approximate(self, ratios: np.ndarray) -> np.ndarray:
+        """Representative ratio of each point's assigned bin."""
+        return self.representatives[self.assign(ratios)]
+
+
+class ApproximationStrategy(ABC):
+    """Learns a :class:`BinModel` from one iteration's compressible ratios."""
+
+    #: registry name, set by subclasses
+    name: str = ""
+
+    @abstractmethod
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+        """Fit at most ``k`` representatives to the candidate ratios.
+
+        Parameters
+        ----------
+        ratios:
+            1-D array of change ratios to be binned (non-empty; the encoder
+            never calls ``fit`` with nothing to compress).
+        k:
+            Maximum number of bins (``2**B - 1`` for the paper's layout).
+        error_bound:
+            The user tolerance ``E``; strategies may use it to place bin
+            boundaries (e.g. log-scale bins start at ``E``) but the hard
+            guarantee is enforced by the encoder, not here.
+        """
+
+    @staticmethod
+    def _validate(ratios: np.ndarray, k: int, error_bound: float) -> np.ndarray:
+        arr = np.asarray(ratios, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot fit a strategy on empty ratios")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("ratios must be finite (encoder filters non-finite)")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if error_bound <= 0:
+            raise ValueError(f"error_bound must be positive, got {error_bound}")
+        return arr

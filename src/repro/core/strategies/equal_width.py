@@ -1,0 +1,39 @@
+"""Equal-width binning (paper Section II-C1).
+
+Partition ``[min, max]`` of the candidate ratios into ``k`` equal-width
+bins; each ratio is approximated by its bin center.  As the paper notes,
+coverage is bounded: the bound is met for every point only when the bin
+width ``W <= 2E``, i.e. when the ratio range is at most ``2 E k``.  Wider
+ranges push edge-of-bin points past the tolerance and the encoder stores
+them exactly, which is why this strategy has the worst incompressible
+ratio on wide or irregular distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies.base import ApproximationStrategy, BinModel
+
+__all__ = ["EqualWidthStrategy"]
+
+
+class EqualWidthStrategy(ApproximationStrategy):
+    """``k`` equal-width bins over the ratio range, centers as representatives."""
+
+    name = "equal_width"
+
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+        arr = self._validate(ratios, k, error_bound)
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo == hi:
+            return BinModel(np.array([lo]))
+        edges = np.linspace(lo, hi, num=k + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        # Drop empty bins: they would waste table entries and nearest-
+        # representative assignment is unchanged for occupied regions only
+        # when representatives are exactly the occupied-bin centers.
+        idx = np.clip(((arr - lo) / (hi - lo) * k).astype(np.int64), 0, k - 1)
+        occupied = np.unique(idx)
+        return BinModel(centers[occupied])

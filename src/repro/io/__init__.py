@@ -1,0 +1,49 @@
+"""Binary checkpoint container format.
+
+Serialises NUMARCK chains to disk so a simulation can actually restart
+from files (paper Section II-D): one *full* record holding the exact
+``D_0`` followed by one *delta* record per compressed iteration.  Each
+record is framed with a type tag, a payload length and a CRC32, so
+truncated or corrupted checkpoint files are detected at read time instead
+of silently feeding garbage into a restart.
+
+High-level API::
+
+    from repro.io import save_chain, load_chain, CheckpointFile
+
+    save_chain(path, chain)                 # CheckpointChain -> file
+    full, deltas = load_chain(path)         # file -> arrays + EncodedIterations
+
+    with CheckpointFile.create(path) as f:  # streaming writer
+        f.write_full(d0)
+        f.write_delta(encoded)
+"""
+
+from repro.io.container import CheckpointFile, load_chain, save_chain
+from repro.io.multichain import MultiChainWriter, load_chains, save_chains
+from repro.io.streamed import load_streamed, save_streamed
+from repro.io.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    decode_delta_bytes,
+    decode_full_bytes,
+    encode_delta_bytes,
+    encode_full_bytes,
+)
+
+__all__ = [
+    "CheckpointFile",
+    "save_chain",
+    "load_chain",
+    "save_chains",
+    "load_chains",
+    "MultiChainWriter",
+    "save_streamed",
+    "load_streamed",
+    "encode_delta_bytes",
+    "decode_delta_bytes",
+    "encode_full_bytes",
+    "decode_full_bytes",
+    "MAGIC",
+    "FORMAT_VERSION",
+]

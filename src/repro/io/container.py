@@ -1,0 +1,183 @@
+"""Framed multi-record checkpoint files.
+
+File layout::
+
+    file  := magic:u8[4] version:u16 record*
+    record:= tag:u8[4] payload_len:u64 payload crc32:u32
+
+Tags: ``b"FULL"`` (exact checkpoint) and ``b"DELT"`` (encoded iteration).
+The CRC covers tag + length + payload, so any bit flip or truncation in a
+record is caught.  Records are strictly appended; a chain file is one FULL
+followed by zero or more DELT records.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointChain
+from repro.core.config import NumarckConfig
+from repro.core.encoder import EncodedIteration
+from repro.core.errors import FormatError
+from repro.io.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    decode_delta_bytes,
+    decode_full_bytes,
+    encode_delta_bytes,
+    encode_full_bytes,
+)
+
+__all__ = ["CheckpointFile", "save_chain", "load_chain"]
+
+TAG_FULL = b"FULL"
+TAG_DELTA = b"DELT"
+
+
+class CheckpointFile:
+    """Streaming writer/reader for framed checkpoint records."""
+
+    def __init__(self, fh: BinaryIO, mode: str) -> None:
+        self._fh = fh
+        self._mode = mode
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path) -> "CheckpointFile":
+        """Create/truncate a checkpoint file and write the header."""
+        fh = open(path, "wb")
+        fh.write(MAGIC + struct.pack("<H", FORMAT_VERSION))
+        return cls(fh, "w")
+
+    @classmethod
+    def open(cls, path: str | Path) -> "CheckpointFile":
+        """Open an existing checkpoint file for reading (validates header)."""
+        fh = open(path, "rb")
+        head = fh.read(6)
+        if len(head) != 6 or head[:4] != MAGIC:
+            fh.close()
+            raise FormatError(f"{path}: not a NUMARCK checkpoint file")
+        (version,) = struct.unpack("<H", head[4:])
+        if version != FORMAT_VERSION:
+            fh.close()
+            raise FormatError(f"{path}: unsupported format version {version}")
+        return cls(fh, "r")
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "CheckpointFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+
+    def _write_record(self, tag: bytes, payload: bytes) -> None:
+        if self._mode != "w":
+            raise FormatError("file opened for reading")
+        frame = tag + struct.pack("<Q", len(payload)) + payload
+        crc = zlib.crc32(frame) & 0xFFFFFFFF
+        self._fh.write(frame + struct.pack("<I", crc))
+
+    def write_full(self, data: np.ndarray) -> None:
+        """Append an exact full-checkpoint record."""
+        self._write_record(TAG_FULL, encode_full_bytes(data))
+
+    def write_delta(self, encoded: EncodedIteration) -> None:
+        """Append one encoded-iteration record."""
+        self._write_record(TAG_DELTA, encode_delta_bytes(encoded))
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(tag, payload)`` for every record, verifying CRCs."""
+        if self._mode != "r":
+            raise FormatError("file opened for writing")
+        import os
+
+        file_size = os.fstat(self._fh.fileno()).st_size
+        while True:
+            head = self._fh.read(12)
+            if not head:
+                return
+            if len(head) < 12:
+                raise FormatError("truncated record header")
+            tag = head[:4]
+            (length,) = struct.unpack("<Q", head[4:])
+            # A corrupt length field must not trigger a giant allocation:
+            # the payload plus its CRC cannot exceed what is left on disk.
+            remaining = file_size - self._fh.tell()
+            if length > max(remaining - 4, 0):
+                raise FormatError(
+                    f"record length {length} exceeds remaining file size "
+                    f"({remaining} bytes)"
+                )
+            payload = self._fh.read(length)
+            if len(payload) < length:
+                raise FormatError(f"truncated record payload (tag {tag!r})")
+            crc_bytes = self._fh.read(4)
+            if len(crc_bytes) < 4:
+                raise FormatError("truncated record CRC")
+            (crc,) = struct.unpack("<I", crc_bytes)
+            if zlib.crc32(head + payload) & 0xFFFFFFFF != crc:
+                raise FormatError(f"CRC mismatch in record (tag {tag!r})")
+            yield tag, payload
+
+    def read_chain(self) -> tuple[np.ndarray, list[EncodedIteration]]:
+        """Read a FULL record followed by DELT records."""
+        full: np.ndarray | None = None
+        deltas: list[EncodedIteration] = []
+        for tag, payload in self.records():
+            if tag == TAG_FULL:
+                if full is not None:
+                    raise FormatError("multiple FULL records in one chain file")
+                full = decode_full_bytes(payload)
+            elif tag == TAG_DELTA:
+                if full is None:
+                    raise FormatError("DELT record before FULL record")
+                deltas.append(decode_delta_bytes(payload))
+            else:
+                raise FormatError(f"unknown record tag {tag!r}")
+        if full is None:
+            raise FormatError("checkpoint file has no FULL record")
+        return full, deltas
+
+
+def save_chain(path: str | Path, chain: CheckpointChain) -> int:
+    """Write a :class:`CheckpointChain` to ``path``; returns bytes written."""
+    with CheckpointFile.create(path) as f:
+        f.write_full(chain.full_checkpoint)
+        for enc in chain.deltas:
+            f.write_delta(enc)
+    return Path(path).stat().st_size
+
+
+def load_chain(path: str | Path,
+               config: NumarckConfig | None = None) -> CheckpointChain:
+    """Rebuild a :class:`CheckpointChain` from ``path``.
+
+    The returned chain can be reconstructed at any iteration; appending to
+    it continues from the last stored iteration's *decoded* state under
+    ``reference="reconstructed"``, or from the decoded state treated as
+    original under the default mode (the true originals are not stored).
+    """
+    with CheckpointFile.open(path) as f:
+        full, deltas = f.read_chain()
+    chain = CheckpointChain(full, config)
+    chain._deltas = deltas  # noqa: SLF001 - same-module rebuild of private state
+    # Restore the running reference so further appends are well-defined.
+    state = full.copy()
+    from repro.core.decoder import decode_iteration
+
+    for enc in deltas:
+        state = decode_iteration(state, enc)
+    chain._ref = state  # noqa: SLF001
+    return chain

@@ -1,0 +1,179 @@
+"""Record payload encoding.
+
+All integers are little-endian.  A *full* payload is::
+
+    ndim:u8  dims:u64[ndim]  data:f64[prod(dims)]
+
+A *delta* payload is::
+
+    nbits:u8  flags:u8  strategy_len:u8  strategy:bytes
+    error_bound:f64
+    ndim:u8  dims:u64[ndim]
+    n_reps:u32          reps:f64[n_reps]
+    n_exact:u64         exact:f64[n_exact]
+    bitmap:u8[ceil(n/8)]            (incompressibility mask, little bit order)
+    packed_indices:u8[ceil(n*nbits/8)]
+
+``flags`` bit 0 = zero index reserved.  Exact values appear in flat index
+order, i.e. the j-th set bit of the bitmap corresponds to ``exact[j]``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.bitpack import pack_bits, packed_nbytes, unpack_bits
+from repro.core.encoder import EncodedIteration
+from repro.core.errors import FormatError
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "encode_full_bytes",
+    "decode_full_bytes",
+    "encode_delta_bytes",
+    "decode_delta_bytes",
+]
+
+MAGIC = b"NMRK"
+FORMAT_VERSION = 1
+
+_FLAG_ZERO_RESERVED = 0x01
+_FLAG_FLOAT32_VALUES = 0x02
+
+
+def _pack_dims(shape: tuple[int, ...]) -> bytes:
+    if len(shape) > 255:
+        raise FormatError(f"too many dimensions: {len(shape)}")
+    return struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}Q", *shape)
+
+
+def _unpack_dims(buf: memoryview, off: int) -> tuple[tuple[int, ...], int]:
+    (ndim,) = struct.unpack_from("<B", buf, off)
+    off += 1
+    dims = struct.unpack_from(f"<{ndim}Q", buf, off)
+    off += 8 * ndim
+    return tuple(int(d) for d in dims), off
+
+
+def encode_full_bytes(data: np.ndarray) -> bytes:
+    """Serialise an exact full checkpoint array."""
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    return _pack_dims(arr.shape) + arr.tobytes()
+
+
+def decode_full_bytes(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_full_bytes`."""
+    buf = memoryview(payload)
+    try:
+        shape, off = _unpack_dims(buf, 0)
+    except struct.error as exc:
+        raise FormatError(f"truncated full-checkpoint payload: {exc}") from exc
+    n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    need = off + 8 * n
+    if len(payload) < need:
+        raise FormatError(
+            f"full-checkpoint payload too short: need {need} bytes, have {len(payload)}"
+        )
+    data = np.frombuffer(buf[off : off + 8 * n], dtype="<f8").copy()
+    return data.reshape(shape)
+
+
+def encode_delta_bytes(enc: EncodedIteration) -> bytes:
+    """Serialise one encoded iteration."""
+    strategy = enc.strategy.encode("ascii")
+    if len(strategy) > 255:
+        raise FormatError("strategy name too long")
+    if enc.value_bits not in (32, 64):
+        raise FormatError(f"unsupported value_bits {enc.value_bits}")
+    flags = _FLAG_ZERO_RESERVED if enc.zero_reserved else 0
+    if enc.value_bits == 32:
+        flags |= _FLAG_FLOAT32_VALUES
+    head = struct.pack("<BBB", enc.nbits, flags, len(strategy)) + strategy
+    head += struct.pack("<d", enc.error_bound)
+    head += _pack_dims(enc.shape)
+
+    reps = np.ascontiguousarray(enc.representatives, dtype="<f8")
+    exact_dtype = "<f4" if enc.value_bits == 32 else "<f8"
+    exact = np.ascontiguousarray(enc.exact_values, dtype=exact_dtype)
+    bitmap = np.packbits(enc.incompressible.astype(np.uint8), bitorder="little")
+    packed = pack_bits(enc.indices, enc.nbits)
+
+    body = (
+        struct.pack("<I", reps.size)
+        + reps.tobytes()
+        + struct.pack("<Q", exact.size)
+        + exact.tobytes()
+        + bitmap.tobytes()
+        + packed
+    )
+    return head + body
+
+
+def decode_delta_bytes(payload: bytes) -> EncodedIteration:
+    """Inverse of :func:`encode_delta_bytes`."""
+    buf = memoryview(payload)
+    try:
+        nbits, flags, slen = struct.unpack_from("<BBB", buf, 0)
+        off = 3
+        strategy = bytes(buf[off : off + slen]).decode("ascii")
+        off += slen
+        (error_bound,) = struct.unpack_from("<d", buf, off)
+        off += 8
+        shape, off = _unpack_dims(buf, off)
+        (n_reps,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        reps = np.frombuffer(buf[off : off + 8 * n_reps], dtype="<f8").copy()
+        if reps.size != n_reps:
+            raise FormatError("truncated representatives table")
+        off += 8 * n_reps
+        (n_exact,) = struct.unpack_from("<Q", buf, off)
+        off += 8
+        exact_width = 4 if flags & _FLAG_FLOAT32_VALUES else 8
+        exact_dtype = "<f4" if exact_width == 4 else "<f8"
+        exact = np.frombuffer(
+            buf[off : off + exact_width * n_exact], dtype=exact_dtype
+        ).astype(np.float64)
+        if exact.size != n_exact:
+            raise FormatError("truncated exact-value stream")
+        off += exact_width * n_exact
+
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        bitmap_bytes = (n + 7) // 8
+        raw_bitmap = np.frombuffer(buf[off : off + bitmap_bytes], dtype=np.uint8)
+        if raw_bitmap.size != bitmap_bytes:
+            raise FormatError("truncated incompressibility bitmap")
+        incompressible = np.unpackbits(raw_bitmap, bitorder="little")[:n].astype(bool)
+        off += bitmap_bytes
+
+        idx_bytes = packed_nbytes(n, nbits)
+        indices = unpack_bits(bytes(buf[off : off + idx_bytes]), n, nbits)
+        off += idx_bytes
+    except (struct.error, ValueError) as exc:
+        raise FormatError(f"corrupt delta payload: {exc}") from exc
+
+    if int(incompressible.sum()) != n_exact:
+        raise FormatError(
+            f"bitmap population ({int(incompressible.sum())}) does not match "
+            f"exact-value count ({n_exact})"
+        )
+    zero_reserved = bool(flags & _FLAG_ZERO_RESERVED)
+    max_valid = n_reps if zero_reserved else max(n_reps - 1, 0)
+    if indices.size and int(indices.max()) > max_valid:
+        raise FormatError(
+            f"index {int(indices.max())} exceeds bin table of {n_reps} entries"
+        )
+    return EncodedIteration(
+        shape=shape,
+        nbits=int(nbits),
+        representatives=reps,
+        indices=indices.astype(np.uint32),
+        incompressible=incompressible,
+        exact_values=exact,
+        error_bound=float(error_bound),
+        strategy=strategy,
+        zero_reserved=zero_reserved,
+        value_bits=32 if flags & _FLAG_FLOAT32_VALUES else 64,
+    )

@@ -1,0 +1,157 @@
+"""Multi-variable checkpoint files.
+
+A real FLASH checkpoint holds *all* variables in one file; this module
+stores a whole ``{variable: CheckpointChain}`` set in a single framed
+container.  Two additional record tags carry a variable-name prefix:
+
+* ``NFUL`` -- named full checkpoint: ``name_len:u8 name payload``
+* ``NDEL`` -- named delta: same prefix, then a standard delta payload.
+
+Records may be interleaved arbitrarily (e.g. appended iteration by
+iteration across variables); per-variable order is preserved.  Each
+variable's first record must be its ``NFUL``.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointChain
+from repro.core.config import NumarckConfig
+from repro.core.decoder import decode_iteration
+from repro.core.errors import FormatError
+from repro.io.container import CheckpointFile
+from repro.io.format import (
+    decode_delta_bytes,
+    decode_full_bytes,
+    encode_delta_bytes,
+    encode_full_bytes,
+)
+
+__all__ = ["save_chains", "load_chains", "MultiChainWriter"]
+
+TAG_NAMED_FULL = b"NFUL"
+TAG_NAMED_DELTA = b"NDEL"
+
+
+def _named(name: str, payload: bytes) -> bytes:
+    raw = name.encode("utf-8")
+    if not raw:
+        raise FormatError("variable name must be non-empty")
+    if len(raw) > 255:
+        raise FormatError(f"variable name too long: {name!r}")
+    return struct.pack("<B", len(raw)) + raw + payload
+
+
+def _split_named(payload: bytes) -> tuple[str, bytes]:
+    if not payload:
+        raise FormatError("empty named record")
+    (nlen,) = struct.unpack_from("<B", payload, 0)
+    if len(payload) < 1 + nlen:
+        raise FormatError("truncated variable name")
+    name = payload[1 : 1 + nlen].decode("utf-8")
+    return name, payload[1 + nlen :]
+
+
+class MultiChainWriter:
+    """Streaming writer for multi-variable checkpoint files.
+
+    Intended for in-situ use: write each variable's full checkpoint once,
+    then append deltas as the simulation produces iterations::
+
+        with MultiChainWriter.create(path) as w:
+            for name, data in first_checkpoint.items():
+                w.write_full(name, data)
+            ...
+            w.write_delta(name, encoded)
+    """
+
+    def __init__(self, inner: CheckpointFile) -> None:
+        self._inner = inner
+        self._seen_full: set[str] = set()
+
+    @classmethod
+    def create(cls, path: str | Path) -> "MultiChainWriter":
+        return cls(CheckpointFile.create(path))
+
+    def write_full(self, name: str, data: np.ndarray) -> None:
+        if name in self._seen_full:
+            raise FormatError(f"variable {name!r} already has a full record")
+        self._seen_full.add(name)
+        self._inner._write_record(TAG_NAMED_FULL,
+                                  _named(name, encode_full_bytes(data)))
+
+    def write_delta(self, name: str, encoded) -> None:
+        if name not in self._seen_full:
+            raise FormatError(f"variable {name!r} has no full record yet")
+        self._inner._write_record(TAG_NAMED_DELTA,
+                                  _named(name, encode_delta_bytes(encoded)))
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __enter__(self) -> "MultiChainWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def save_chains(path: str | Path, chains: dict[str, CheckpointChain]) -> int:
+    """Write a set of chains into one file; returns bytes written.
+
+    Records are interleaved by iteration (all variables' fulls, then every
+    variable's delta 1, delta 2, ...), matching how an in-situ writer would
+    append them.
+    """
+    if not chains:
+        raise FormatError("no chains to save")
+    with MultiChainWriter.create(path) as w:
+        for name, chain in chains.items():
+            w.write_full(name, chain.full_checkpoint)
+        depth = max(len(c.deltas) for c in chains.values())
+        for i in range(depth):
+            for name, chain in chains.items():
+                if i < len(chain.deltas):
+                    w.write_delta(name, chain.deltas[i])
+    return Path(path).stat().st_size
+
+
+def load_chains(path: str | Path,
+                config: NumarckConfig | None = None
+                ) -> dict[str, CheckpointChain]:
+    """Read a multi-variable checkpoint file back into chains."""
+    fulls: dict[str, np.ndarray] = {}
+    deltas: dict[str, list] = {}
+    with CheckpointFile.open(path) as f:
+        for tag, payload in f.records():
+            if tag == TAG_NAMED_FULL:
+                name, body = _split_named(payload)
+                if name in fulls:
+                    raise FormatError(f"duplicate full record for {name!r}")
+                fulls[name] = decode_full_bytes(body)
+                deltas[name] = []
+            elif tag == TAG_NAMED_DELTA:
+                name, body = _split_named(payload)
+                if name not in fulls:
+                    raise FormatError(f"delta for unknown variable {name!r}")
+                deltas[name].append(decode_delta_bytes(body))
+            else:
+                raise FormatError(
+                    f"unexpected record tag {tag!r} in multi-chain file"
+                )
+    if not fulls:
+        raise FormatError("multi-chain file has no records")
+    out: dict[str, CheckpointChain] = {}
+    for name, full in fulls.items():
+        chain = CheckpointChain(full, config)
+        chain._deltas = deltas[name]  # noqa: SLF001 - same-package rebuild
+        state = full.copy()
+        for enc in deltas[name]:
+            state = decode_iteration(state, enc)
+        chain._ref = state  # noqa: SLF001
+        out[name] = chain
+    return out

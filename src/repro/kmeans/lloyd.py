@@ -1,0 +1,188 @@
+"""Lloyd's algorithm, specialised for 1-D data plus a general n-D fallback.
+
+The 1-D specialisation matters: NUMARCK clusters *scalar* change ratios
+with k up to 2^B - 1 (255 or 511), and the O(n k) distance matrix of the
+textbook formulation would dominate compression time.  For sorted
+centroids, the nearest centroid of a scalar x is found by binary search
+against the midpoints between adjacent centroids, giving O(n log k)
+assignment with two NumPy calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "assign1d", "kmeans1d", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k,)`` (1-D) or ``(k, d)`` array, sorted ascending in the 1-D case.
+    labels:
+        ``(n,)`` int32 cluster index per input point.
+    inertia:
+        Sum of squared distances to the assigned centroid.
+    n_iter:
+        Lloyd iterations executed.
+    converged:
+        True if centroid movement fell below tolerance before ``max_iter``.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+
+def assign1d(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid labels for scalar data against *sorted* centroids.
+
+    Ties at a midpoint go to the lower centroid (``searchsorted`` with
+    ``side='left'`` keeps the midpoint itself in the left bin); any
+    consistent rule works for Lloyd convergence.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if centroids.ndim != 1 or centroids.size == 0:
+        raise ValueError("centroids must be a non-empty 1-D array")
+    if centroids.size == 1:
+        return np.zeros(data.shape, dtype=np.int32)
+    mids = 0.5 * (centroids[:-1] + centroids[1:])
+    return np.searchsorted(mids, data, side="left").astype(np.int32)
+
+
+def _update1d(data: np.ndarray, labels: np.ndarray, k: int,
+              old: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """(Weighted) mean of each cluster; empty clusters keep their centroid."""
+    if weights is None:
+        counts = np.bincount(labels, minlength=k).astype(np.float64)
+        sums = np.bincount(labels, weights=data, minlength=k)
+    else:
+        counts = np.bincount(labels, weights=weights, minlength=k)
+        sums = np.bincount(labels, weights=data * weights, minlength=k)
+    new = old.copy()
+    nonempty = counts > 0
+    new[nonempty] = sums[nonempty] / counts[nonempty]
+    return new
+
+
+def kmeans1d(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int = 50,
+    tol: float = 1e-10,
+    weights: np.ndarray | None = None,
+) -> KMeansResult:
+    """Lloyd's algorithm on scalar data from explicit initial centroids.
+
+    Parameters
+    ----------
+    data:
+        1-D float array of points to cluster.
+    centroids:
+        Initial centroids (will be sorted); ``k = len(centroids)``.
+    max_iter:
+        Maximum Lloyd iterations.
+    tol:
+        Convergence threshold on the maximum absolute centroid movement,
+        relative to the data range.
+    weights:
+        Optional non-negative per-point weights -- clustering a weighted
+        histogram of n bins is then equivalent to clustering the full
+        dataset it summarises (used by the sketch-based distributed fit).
+
+    Notes
+    -----
+    Centroids are re-sorted after every update so the midpoint-search
+    assignment stays valid.  Sorting k scalars is negligible next to the
+    O(n log k) assignment.
+    """
+    arr = np.asarray(data, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot cluster empty data")
+    w = None
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if w.shape != arr.shape:
+            raise ValueError(f"weights shape {w.shape} != data shape {arr.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    cent = np.sort(np.asarray(centroids, dtype=np.float64).ravel())
+    k = cent.size
+    if k < 1:
+        raise ValueError("need at least one centroid")
+    span = float(arr.max() - arr.min())
+    move_tol = tol * (span if span > 0 else 1.0)
+
+    labels = assign1d(arr, cent)
+    n_iter = 0
+    converged = False
+    for n_iter in range(1, max_iter + 1):
+        new = np.sort(_update1d(arr, labels, k, cent, weights=w))
+        move = float(np.max(np.abs(new - cent))) if k else 0.0
+        cent = new
+        labels = assign1d(arr, cent)
+        if move <= move_tol:
+            converged = True
+            break
+    sq = (arr - cent[labels]) ** 2
+    inertia = float(np.sum(sq if w is None else sq * w))
+    return KMeansResult(cent, labels, inertia, n_iter, converged)
+
+
+def kmeans(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int = 50,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """General n-D Lloyd's algorithm (O(n k d) per iteration).
+
+    Provided for completeness (e.g. clustering multi-variable change
+    vectors, an extension the paper's future-work section gestures at); the
+    compression pipeline itself always uses :func:`kmeans1d`.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.size == 0:
+        raise ValueError("cannot cluster empty data")
+    cent = np.asarray(centroids, dtype=np.float64)
+    if cent.ndim == 1:
+        cent = cent[:, None]
+    if cent.shape[1] != arr.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: data has d={arr.shape[1]}, centroids d={cent.shape[1]}"
+        )
+    k = cent.shape[0]
+    scale = float(np.max(np.ptp(arr, axis=0))) if arr.shape[0] > 1 else 1.0
+    move_tol = tol * (scale if scale > 0 else 1.0)
+
+    labels = np.zeros(arr.shape[0], dtype=np.int32)
+    n_iter = 0
+    converged = False
+    for n_iter in range(1, max_iter + 1):
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; drop the x term for argmin.
+        d2 = -2.0 * arr @ cent.T + np.sum(cent * cent, axis=1)[None, :]
+        labels = np.argmin(d2, axis=1).astype(np.int32)
+        new = cent.copy()
+        for j in range(k):
+            members = labels == j
+            if members.any():
+                new[j] = arr[members].mean(axis=0)
+        move = float(np.max(np.abs(new - cent)))
+        cent = new
+        if move <= move_tol:
+            converged = True
+            break
+    diffs = arr - cent[labels]
+    inertia = float(np.sum(diffs * diffs))
+    return KMeansResult(cent, labels, inertia, n_iter, converged)

@@ -1,0 +1,36 @@
+"""MPI-like parallel substrate.
+
+The NUMARCK paper runs inside MPI simulations (FLASH) and uses the authors'
+parallel k-means package.  This repo has no MPI runtime, so this package
+provides a small SPMD harness with the same *shape* as ``mpi4py``:
+
+* :class:`Comm` -- communicator protocol (``rank``/``size``, ``send``/
+  ``recv``, ``bcast``, ``scatter``, ``gather``, ``allgather``, ``reduce``,
+  ``allreduce``, ``barrier``).
+* :class:`SerialComm` -- trivial single-process communicator, used by
+  default everywhere so the library works without spawning anything.
+* :class:`PipeComm` + :func:`run_spmd` -- real multi-process SPMD execution
+  over OS pipes, used by the parallel k-means driver and its tests.
+* :mod:`repro.parallel.partition` -- 1-D and 2-D block decompositions.
+
+Every distributed algorithm in the repo is written against :class:`Comm`,
+so the serial and multi-process paths execute identical code.
+"""
+
+from repro.parallel.comm import Comm, PipeComm, SerialComm, run_spmd
+from repro.parallel.insitu import GlobalStats, parallel_encode
+from repro.parallel.partition import block_partition, partition_bounds, partition_slices
+from repro.parallel.reduce import tree_allreduce
+
+__all__ = [
+    "Comm",
+    "SerialComm",
+    "PipeComm",
+    "run_spmd",
+    "parallel_encode",
+    "GlobalStats",
+    "block_partition",
+    "partition_bounds",
+    "partition_slices",
+    "tree_allreduce",
+]

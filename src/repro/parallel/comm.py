@@ -1,0 +1,229 @@
+"""Communicator abstraction and SPMD process harness.
+
+Two implementations of the same protocol:
+
+* :class:`SerialComm` -- ``size == 1``; collective operations degenerate to
+  identity.  This is the default communicator for every algorithm in the
+  library, so nothing here forces callers to pay process-spawn costs.
+* :class:`PipeComm` -- each rank is an OS process (``multiprocessing``,
+  ``spawn`` not required; we use the default start method) holding one
+  duplex :class:`multiprocessing.connection.Connection` to every other
+  rank.  Collectives are implemented with the classic linear/rooted
+  algorithms, which is plenty for the rank counts (2--8) exercised here.
+
+Payloads are arbitrary picklable objects; NumPy arrays ride through
+``Connection.send`` efficiently (pickle protocol 5 buffers).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from functools import reduce as _functools_reduce
+from multiprocessing import Pipe, Process, get_context
+from typing import Any, Callable, Sequence
+
+__all__ = ["Comm", "SerialComm", "PipeComm", "run_spmd"]
+
+
+class Comm:
+    """Protocol for a communicator.
+
+    Concrete subclasses provide :attr:`rank`, :attr:`size` and point-to-point
+    ``send``/``recv``; the collectives below are implemented generically on
+    top of those, with the linear algorithms rooted at rank 0.
+    """
+
+    rank: int
+    size: int
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int) -> None:
+        raise NotImplementedError
+
+    def recv(self, source: int) -> Any:
+        raise NotImplementedError
+
+    # -- collectives -----------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        # Linear barrier: everyone pings 0, then 0 pongs everyone.
+        if self.size == 1:
+            return
+        if self.rank == 0:
+            for src in range(1, self.size):
+                self.recv(src)
+            for dst in range(1, self.size):
+                self.send(None, dst)
+        else:
+            self.send(None, 0)
+            self.recv(0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks; returns the object."""
+        if self.size == 1:
+            return obj
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst)
+            return obj
+        return self.recv(root)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one element of ``objs`` (length ``size``) to each rank."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} items at root")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst)
+            return objs[root]
+        return self.recv(root)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object from every rank to ``root`` (``None`` elsewhere)."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src)
+            return out
+        self.send(obj, root)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather to rank 0, then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add,
+               root: int = 0) -> Any | None:
+        """Reduce objects from all ranks with ``op`` at ``root``.
+
+        ``op`` must be associative; application order is by ascending rank.
+        Returns the reduction at ``root`` and ``None`` elsewhere.
+        """
+        gathered = self.gather(obj, root=root)
+        if gathered is None:
+            return None
+        return _functools_reduce(op, gathered)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Any:
+        """Reduce with ``op`` and broadcast the result to every rank."""
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+
+
+class SerialComm(Comm):
+    """Single-process communicator: all collectives are identities."""
+
+    def __init__(self) -> None:
+        self.rank = 0
+        self.size = 1
+
+    def send(self, obj: Any, dest: int) -> None:  # pragma: no cover - guarded
+        raise RuntimeError("SerialComm has no peers to send to")
+
+    def recv(self, source: int) -> Any:  # pragma: no cover - guarded
+        raise RuntimeError("SerialComm has no peers to receive from")
+
+
+class PipeComm(Comm):
+    """Communicator over a full mesh of duplex pipes.
+
+    Built by :func:`run_spmd`; not intended to be constructed directly.
+    """
+
+    def __init__(self, rank: int, size: int, links: dict[int, Any]) -> None:
+        self.rank = rank
+        self.size = size
+        self._links = links
+
+    def send(self, obj: Any, dest: int) -> None:
+        if dest == self.rank:
+            raise ValueError("cannot send to self")
+        self._links[dest].send(obj)
+
+    def recv(self, source: int) -> Any:
+        if source == self.rank:
+            raise ValueError("cannot receive from self")
+        return self._links[source].recv()
+
+
+@dataclass
+class _RankResult:
+    rank: int
+    value: Any = None
+    error: str | None = None
+
+
+def _spmd_child(rank: int, size: int, links: dict[int, Any], result_conn: Any,
+                fn: Callable[..., Any], args: tuple, kwargs: dict) -> None:
+    comm = PipeComm(rank, size, links)
+    try:
+        value = fn(comm, *args, **kwargs)
+        result_conn.send(_RankResult(rank, value=value))
+    except Exception as exc:  # noqa: BLE001 - relayed to the parent
+        result_conn.send(_RankResult(rank, error=f"{type(exc).__name__}: {exc}"))
+    finally:
+        result_conn.close()
+
+
+def run_spmd(fn: Callable[..., Any], nprocs: int, *args: Any,
+             timeout: float = 120.0, **kwargs: Any) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return all results.
+
+    Spawns ``nprocs`` OS processes wired into a full pipe mesh, calls ``fn``
+    on each with its :class:`PipeComm`, and returns the per-rank return
+    values ordered by rank.  If any rank raises, a ``RuntimeError`` naming
+    the failing ranks is raised after all processes are reaped.
+
+    ``nprocs == 1`` short-circuits to an in-process call with a
+    :class:`SerialComm`, which keeps tests fast and debuggable.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if nprocs == 1:
+        return [fn(SerialComm(), *args, **kwargs)]
+
+    ctx = get_context()
+    # links[i][j]: connection rank i uses to talk to rank j.
+    links: list[dict[int, Any]] = [dict() for _ in range(nprocs)]
+    for i in range(nprocs):
+        for j in range(i + 1, nprocs):
+            a, b = Pipe(duplex=True)
+            links[i][j] = a
+            links[j][i] = b
+
+    result_parents = []
+    procs: list[Process] = []
+    for rank in range(nprocs):
+        parent_conn, child_conn = Pipe(duplex=False)
+        result_parents.append(parent_conn)
+        p = ctx.Process(
+            target=_spmd_child,
+            args=(rank, nprocs, links[rank], child_conn, fn, args, kwargs),
+            daemon=True,
+        )
+        procs.append(p)
+        p.start()
+
+    results: list[Any] = [None] * nprocs
+    errors: list[str] = []
+    for rank, conn in enumerate(result_parents):
+        if conn.poll(timeout):
+            res: _RankResult = conn.recv()
+            if res.error is not None:
+                errors.append(f"rank {rank}: {res.error}")
+            else:
+                results[rank] = res.value
+        else:
+            errors.append(f"rank {rank}: timeout after {timeout}s")
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():  # pragma: no cover - defensive
+            p.terminate()
+    if errors:
+        raise RuntimeError("SPMD execution failed: " + "; ".join(errors))
+    return results

@@ -1,0 +1,201 @@
+"""In-situ distributed encoding (the paper's deployment mode).
+
+NUMARCK runs *inside* the simulation: every MPI rank owns a shard of the
+mesh and compresses it in place, with one communication-light model fit
+shared across ranks (paper: "minimal data movement (mostly in place)").
+
+:func:`parallel_encode` implements that pattern over the
+:class:`~repro.parallel.Comm` protocol:
+
+1. each rank computes change ratios for its shard locally;
+2. rank 0 gathers a *bounded* sample of compressible candidates (default
+   32k values per rank -- constant communication volume regardless of
+   shard size), fits the configured strategy, and broadcasts the bin
+   table;
+3. optionally (``refine=True``, clustering only) the broadcast centroids
+   are refined with distributed Lloyd iterations
+   (:func:`~repro.kmeans.parallel_kmeans1d`), whose allreduce traffic is
+   O(k) per iteration;
+4. every rank assigns and error-checks its own points exhaustively against
+   the shared table and builds its local
+   :class:`~repro.core.encoder.EncodedIteration`.
+
+The per-point guarantee is exactly the serial one: sharing the table only
+affects bin placement, never the exactness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.parallel.comm import Comm, SerialComm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import NumarckConfig
+    from repro.core.encoder import EncodedIteration
+
+# repro.core imports repro.kmeans, whose distributed driver imports
+# repro.parallel (this package); importing repro.core at module scope here
+# would close that cycle.  The core/kmeans symbols are therefore imported
+# lazily inside the functions.
+
+__all__ = ["parallel_encode", "GlobalStats"]
+
+
+@dataclass(frozen=True)
+class GlobalStats:
+    """Aggregate compression statistics across all ranks."""
+
+    n_points: int
+    n_incompressible: int
+    n_bins: int
+
+    @property
+    def incompressible_ratio(self) -> float:
+        return self.n_incompressible / self.n_points if self.n_points else 0.0
+
+
+def _local_candidates(prev: np.ndarray, curr: np.ndarray,
+                      cfg: "NumarckConfig") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    from repro.core.change import change_ratios
+
+    field = change_ratios(prev, curr)
+    r = field.ratios.ravel()
+    forced = field.forced_exact.ravel()
+    if cfg.reserve_zero_bin:
+        mask = (np.abs(r) >= cfg.error_bound) & ~forced
+    else:
+        mask = ~forced
+    return r, forced, mask
+
+
+def parallel_encode(
+    comm: Comm | None,
+    local_prev: np.ndarray,
+    local_curr: np.ndarray,
+    config: NumarckConfig | None = None,
+    sample_per_rank: int = 32_768,
+    refine: bool = True,
+    fit_mode: str = "sample",
+) -> tuple[EncodedIteration, GlobalStats]:
+    """SPMD encode of one iteration; call on every rank with its shard.
+
+    Returns this rank's encoded shard plus the *global* statistics
+    (identical on every rank).  With ``SerialComm`` the result matches the
+    serial encoder up to sampling of the model fit.
+
+    ``fit_mode`` selects how the shared bin table is learned:
+
+    * ``"sample"`` -- gather a bounded candidate sample to rank 0, fit the
+      configured strategy there, broadcast the table (default; any
+      strategy).
+    * ``"sketch"`` -- every rank builds a
+      :class:`~repro.analysis.sketch.RatioSketch` of its candidates; one
+      O(bins) allreduce merges them and every rank fits the identical
+      weighted-k-means model locally.  Communication is constant in both
+      data size and rank count; only meaningful for ``"clustering"``.
+    """
+    from repro.core.config import NumarckConfig
+    from repro.core.encoder import EncodedIteration, _fit_model
+    from repro.core.strategies.base import BinModel
+    from repro.kmeans import parallel_kmeans1d
+
+    comm = comm if comm is not None else SerialComm()
+    cfg = config if config is not None else NumarckConfig()
+    prev = np.asarray(local_prev, dtype=np.float64)
+    curr = np.asarray(local_curr, dtype=np.float64)
+    if prev.shape != curr.shape:
+        raise ValueError(f"shard shape mismatch: {prev.shape} vs {curr.shape}")
+
+    if fit_mode not in ("sample", "sketch"):
+        raise ValueError(f"unknown fit_mode {fit_mode!r}")
+
+    ratios, forced, cand_mask = _local_candidates(prev, curr, cfg)
+    cand = ratios[cand_mask]
+
+    if fit_mode == "sketch":
+        # -- mergeable-sketch fit: O(bins) allreduce, local deterministic fit
+        from repro.analysis.sketch import RatioSketch
+
+        sketch = RatioSketch(cfg.error_bound).add(cand)
+        sketch.counts = comm.allreduce(sketch.counts)
+        if sketch.total:
+            reps = sketch.fit_model(cfg.n_bins,
+                                    max_iter=cfg.kmeans_max_iter).representatives
+        else:
+            reps = np.empty(0)
+    else:
+        # -- bounded-sample gather and root-side model fit -------------------
+        rng = np.random.default_rng(cfg.seed + comm.rank)
+        if cand.size > sample_per_rank:
+            idx = rng.choice(cand.size, size=sample_per_rank - 2, replace=False)
+            sample = np.concatenate([cand[idx], [cand.min(), cand.max()]])
+        else:
+            sample = cand
+        gathered = comm.gather(sample, root=0)
+        if comm.rank == 0:
+            all_samples = np.concatenate([g for g in gathered if g.size]) \
+                if any(g.size for g in gathered) else np.empty(0)
+            if all_samples.size:
+                model = _fit_model(all_samples, cfg)
+                reps = model.representatives
+            else:
+                reps = np.empty(0)
+        else:
+            reps = None
+        reps = comm.bcast(reps, root=0)
+
+    # -- optional distributed Lloyd refinement (paper's parallel k-means) ---
+    if refine and cfg.strategy == "clustering" and reps.size > 1:
+        refined = parallel_kmeans1d(comm, cand, reps,
+                                    max_iter=cfg.kmeans_max_iter)
+        candidate = np.unique(refined.centroids)
+        # Safeguard as in the serial strategy: keep the refinement only if
+        # it does not cover fewer local+global points than the root fit.
+        def global_fails(table: np.ndarray) -> int:
+            m = BinModel(table)
+            local = int(np.count_nonzero(
+                np.abs(m.approximate(cand) - cand) >= cfg.error_bound
+            )) if cand.size else 0
+            return comm.allreduce(local)
+
+        if global_fails(candidate) <= global_fails(reps):
+            reps = candidate
+
+    # -- exhaustive local assignment and exactness check --------------------
+    n = ratios.size
+    indices = np.zeros(n, dtype=np.uint32)
+    incompressible = forced.copy()
+    cand_idx = np.flatnonzero(cand_mask)
+    if cand_idx.size:
+        if reps.size:
+            model = BinModel(reps)
+            labels = model.assign(ratios[cand_idx])
+            approx = reps[labels]
+            ok = np.abs(approx - ratios[cand_idx]) < cfg.error_bound
+            offset = 1 if cfg.reserve_zero_bin else 0
+            indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + offset
+            incompressible[cand_idx[~ok]] = True
+        else:
+            incompressible[cand_idx] = True
+
+    encoded = EncodedIteration(
+        shape=curr.shape,
+        nbits=cfg.nbits,
+        representatives=np.asarray(reps, dtype=np.float64),
+        indices=indices,
+        incompressible=incompressible,
+        exact_values=curr.ravel()[incompressible].copy(),
+        error_bound=cfg.error_bound,
+        strategy=cfg.strategy,
+        zero_reserved=cfg.reserve_zero_bin,
+    )
+    stats = GlobalStats(
+        n_points=comm.allreduce(n),
+        n_incompressible=comm.allreduce(int(incompressible.sum())),
+        n_bins=int(np.asarray(reps).size),
+    )
+    return encoded, stats

@@ -1,0 +1,38 @@
+"""Checkpoint/restart economics: what compression buys at system level.
+
+The paper's motivation is that "the storage space and time costs of
+checkpointing threaten to overwhelm ... the simulation".  This package
+quantifies that claim and NUMARCK's effect on it:
+
+* :class:`CheckpointCostModel` -- write/restart times from data volume,
+  I/O bandwidth and a compressor's ratio;
+* :func:`young_interval` / :func:`daly_interval` -- the classical optimal
+  checkpoint intervals;
+* :func:`expected_waste` / :func:`expected_makespan` -- first-order
+  analytic run-time under exponential failures;
+* :func:`simulate_makespan` -- a discrete-event failure simulator that
+  validates the analytic model and measures regimes where it breaks down.
+
+The resilience bench (`benchmarks/test_resilience_economics.py`) runs a
+NUMARCK-measured compression ratio through this model to report the
+end-to-end makespan saving -- the number the paper's introduction is
+really about.
+"""
+
+from repro.resilience.model import (
+    CheckpointCostModel,
+    daly_interval,
+    expected_makespan,
+    expected_waste,
+    simulate_makespan,
+    young_interval,
+)
+
+__all__ = [
+    "CheckpointCostModel",
+    "young_interval",
+    "daly_interval",
+    "expected_waste",
+    "expected_makespan",
+    "simulate_makespan",
+]

@@ -1,0 +1,173 @@
+"""Analytic and simulated checkpoint/restart run-time models.
+
+Notation (classical, e.g. Young 1974, Daly 2006): ``C`` = time to write a
+checkpoint, ``R`` = time to restart from one, ``M`` = mean time between
+failures (exponential), ``T`` = compute time between checkpoints.
+
+First-order waste per compute segment::
+
+    waste(T) = C / T            (checkpoint overhead)
+             + (T + C) / (2 M)  (expected rework after a failure)
+             + R / M            (expected restart cost)
+
+Minimising the ``T``-dependent part gives Young's ``T* = sqrt(2 C M)``;
+Daly's refinement subtracts ``C``.  ``expected_makespan`` applies the
+waste to a given amount of useful work; ``simulate_makespan`` replays the
+same process with actual exponential failure draws, which the tests use
+to validate the analytic expressions (and which stays accurate where the
+first-order model degrades, i.e. ``T`` not << ``M``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CheckpointCostModel",
+    "young_interval",
+    "daly_interval",
+    "expected_waste",
+    "expected_makespan",
+    "simulate_makespan",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointCostModel:
+    """I/O cost of one checkpoint under a given compressor.
+
+    Parameters
+    ----------
+    data_bytes:
+        Raw size of one checkpoint.
+    write_bandwidth / read_bandwidth:
+        Sustained I/O bandwidth in bytes/second (read defaults to write).
+    compression_ratio:
+        Percent size reduction (the paper's ``R``; 0 = uncompressed,
+        85 = output is 15 % of input).
+    compress_overhead / decompress_overhead:
+        CPU seconds spent encoding/decoding one checkpoint (NUMARCK's
+        encode cost is small next to exascale I/O, but it is not free).
+    """
+
+    data_bytes: float
+    write_bandwidth: float
+    read_bandwidth: float | None = None
+    compression_ratio: float = 0.0
+    compress_overhead: float = 0.0
+    decompress_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        if self.write_bandwidth <= 0:
+            raise ValueError("write_bandwidth must be positive")
+        if self.read_bandwidth is not None and self.read_bandwidth <= 0:
+            raise ValueError("read_bandwidth must be positive")
+        if not 0.0 <= self.compression_ratio < 100.0:
+            raise ValueError("compression_ratio must be in [0, 100)")
+        if self.compress_overhead < 0 or self.decompress_overhead < 0:
+            raise ValueError("overheads must be non-negative")
+
+    @property
+    def stored_bytes(self) -> float:
+        return self.data_bytes * (1.0 - self.compression_ratio / 100.0)
+
+    @property
+    def checkpoint_time(self) -> float:
+        """C: seconds to produce and write one checkpoint."""
+        return self.stored_bytes / self.write_bandwidth + self.compress_overhead
+
+    @property
+    def restart_time(self) -> float:
+        """R: seconds to read and decode one checkpoint."""
+        bw = self.read_bandwidth if self.read_bandwidth is not None \
+            else self.write_bandwidth
+        return self.stored_bytes / bw + self.decompress_overhead
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+def young_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Young's optimal compute time between checkpoints: sqrt(2 C M)."""
+    _check_positive(checkpoint_time=checkpoint_time, mtbf=mtbf)
+    return float(np.sqrt(2.0 * checkpoint_time * mtbf))
+
+
+def daly_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Daly's refinement: sqrt(2 C M) - C (floored at C)."""
+    _check_positive(checkpoint_time=checkpoint_time, mtbf=mtbf)
+    return float(max(np.sqrt(2.0 * checkpoint_time * mtbf) - checkpoint_time,
+                     checkpoint_time))
+
+
+def expected_waste(interval: float, checkpoint_time: float,
+                   restart_time: float, mtbf: float) -> float:
+    """First-order fraction of time lost to checkpoint/failure overheads."""
+    _check_positive(interval=interval, checkpoint_time=checkpoint_time,
+                    mtbf=mtbf)
+    if restart_time < 0:
+        raise ValueError("restart_time must be non-negative")
+    return (checkpoint_time / interval
+            + (interval + checkpoint_time) / (2.0 * mtbf)
+            + restart_time / mtbf)
+
+
+def expected_makespan(work: float, interval: float, checkpoint_time: float,
+                      restart_time: float, mtbf: float) -> float:
+    """Analytic wall time to complete ``work`` seconds of useful compute."""
+    _check_positive(work=work)
+    waste = expected_waste(interval, checkpoint_time, restart_time, mtbf)
+    if waste >= 1.0:
+        return float("inf")
+    return float(work / (1.0 - waste))
+
+
+def simulate_makespan(work: float, interval: float, checkpoint_time: float,
+                      restart_time: float, mtbf: float,
+                      rng: np.random.Generator | None = None,
+                      n_runs: int = 32, max_events: int = 10_000_000) -> float:
+    """Discrete-event mean wall time under exponential failures.
+
+    The process: compute ``interval`` seconds, write a checkpoint
+    (``checkpoint_time``), repeat; a failure at any moment loses all work
+    since the last completed checkpoint and costs ``restart_time`` before
+    computing resumes.  Failures can also strike during checkpoint writes
+    and restarts (the written checkpoint then doesn't complete).
+    """
+    _check_positive(work=work, interval=interval,
+                    checkpoint_time=checkpoint_time, mtbf=mtbf)
+    if restart_time < 0:
+        raise ValueError("restart_time must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    totals = []
+    for _ in range(n_runs):
+        wall = 0.0
+        done = 0.0        # work safely checkpointed
+        next_failure = rng.exponential(mtbf)
+        events = 0
+        while done < work:
+            events += 1
+            if events > max_events:  # pragma: no cover - pathological configs
+                raise RuntimeError("simulation did not converge")
+            segment = min(interval, work - done)
+            # Attempt: compute `segment`, then (if more work remains) write
+            # a checkpoint.  The segment is lost unless the checkpoint (or
+            # the final result) completes before the next failure.
+            cost = segment + (checkpoint_time if done + segment < work else 0.0)
+            if wall + cost <= next_failure:
+                wall += cost
+                done += segment
+            else:
+                # Failure: advance to it, pay restart, draw the next one.
+                wall = next_failure + restart_time
+                next_failure = wall + rng.exponential(mtbf)
+        totals.append(wall)
+    return float(np.mean(totals))

@@ -1,0 +1,32 @@
+"""Checkpoint/restart orchestration and fault injection.
+
+Ties the compression chain to a running simulation (paper Section III-G):
+
+* :class:`RestartManager` -- records a simulation's multi-variable
+  checkpoints into per-variable NUMARCK chains, reconstructs the restart
+  state at any checkpoint, and restarts the simulation from it.
+* :class:`RestartExperiment` -- the Fig. 8 harness: run a reference
+  simulation, restart a twin from a reconstructed checkpoint, continue
+  both, and track the accumulated per-variable mean/max error rate.
+* :mod:`repro.restart.faults` -- fault injection: run a simulation under a
+  schedule of crashes, restarting from the latest persisted chain each
+  time, and verify the run completes within bounded deviation.
+"""
+
+from repro.restart.faults import (
+    FaultInjector,
+    FaultRunResult,
+    FaultSchedule,
+    run_with_faults,
+)
+from repro.restart.manager import RestartExperiment, RestartManager, RestartRecord
+
+__all__ = [
+    "RestartManager",
+    "RestartExperiment",
+    "RestartRecord",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultRunResult",
+    "run_with_faults",
+]

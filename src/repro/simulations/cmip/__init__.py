@@ -1,0 +1,35 @@
+"""Synthetic CMIP5-like climate fields.
+
+The paper compresses six CMIP5 variables on a 2.5-degree x 2-degree grid
+(144 x 90 points): *rlus* and *rlds* (surface long-wave radiation, daily),
+*mrsos* (soil moisture, daily), *mrro* (total runoff, daily), *mc*
+(convective mass flux, monthly, on pressure levels) and *abs550aer*
+(aerosol absorption optical thickness, the paper's hardest dataset).
+
+The real archives are unavailable offline, so :class:`CmipSimulation`
+generates fields with the statistical properties NUMARCK's behaviour
+depends on (see DESIGN.md's substitution table):
+
+* spatially correlated patterns (Gaussian-filtered noise, periodic in
+  longitude) on a persistent climatology, evolving as an AR(1) process in
+  time with a seasonal cycle -- so day-over-day *relative* changes are
+  small and concentrated for radiation variables (the paper's Fig. 1D);
+* variable-specific marginals: strictly positive radiation around
+  300-450 W/m^2, bounded soil moisture, *sparse non-negative* runoff (many
+  exact zeros -> forced-exact points), small log-normal aerosol burdens
+  with high relative variability (hardest), and large-magnitude layered
+  convective flux with monthly (bigger) steps.
+"""
+
+from repro.simulations.cmip.simulation import CMIP_VARIABLES, CmipSimulation
+from repro.simulations.cmip.fields import ar1_step, smooth_noise
+from repro.simulations.cmip.variables import VARIABLE_SPECS, VariableSpec
+
+__all__ = [
+    "CmipSimulation",
+    "CMIP_VARIABLES",
+    "VariableSpec",
+    "VARIABLE_SPECS",
+    "smooth_noise",
+    "ar1_step",
+]

@@ -1,0 +1,38 @@
+"""Spatiotemporal field primitives for the climate generator."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+__all__ = ["smooth_noise", "ar1_step"]
+
+
+def smooth_noise(shape: tuple[int, ...], rng: np.random.Generator,
+                 sigma: float = 4.0) -> np.ndarray:
+    """Unit-variance spatially correlated Gaussian noise.
+
+    White noise smoothed with a Gaussian kernel of width ``sigma`` cells,
+    wrapping in the last axis (longitude is periodic) and reflecting in the
+    others, then rescaled back to unit variance.
+    """
+    white = rng.standard_normal(shape)
+    modes = ["reflect"] * (len(shape) - 1) + ["wrap"]
+    field = gaussian_filter(white, sigma=sigma, mode=modes)
+    std = field.std()
+    return field / std if std > 0 else field
+
+
+def ar1_step(state: np.ndarray, mean: np.ndarray | float, phi: float,
+             sigma: float, rng: np.random.Generator,
+             noise_sigma_cells: float = 4.0) -> np.ndarray:
+    """One AR(1) step with spatially correlated innovations.
+
+    ``x' = mean + phi * (x - mean) + sigma * eta`` where ``eta`` is
+    unit-variance smooth noise.  ``phi`` close to 1 gives the strong
+    day-to-day persistence real climate fields show.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError(f"phi must be in [0, 1], got {phi}")
+    eta = smooth_noise(state.shape, rng, sigma=noise_sigma_cells)
+    return mean + phi * (state - mean) + sigma * eta

@@ -1,0 +1,131 @@
+"""Stored simulation trajectories (the paper's actual workflow).
+
+The paper compresses checkpoint *archives* (CMIP5 netCDF files, saved
+FLASH checkpoints) rather than live simulations.  netCDF is unavailable
+offline, so this module provides the equivalent workflow over ``.npz``:
+
+* :func:`save_trajectory` -- write a sequence of multi-variable
+  checkpoints into one archive;
+* :class:`TrajectoryReader` -- random access by iteration or variable,
+  plus :meth:`pairs` (consecutive-iteration pairs, the unit NUMARCK
+  consumes) and :meth:`chunk_stream` factories that plug straight into
+  :class:`~repro.core.streaming.StreamingEncoder`.
+
+Keys inside the archive are ``"{iteration:06d}/{variable}"``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["save_trajectory", "TrajectoryReader"]
+
+_KEY_SEP = "/"
+
+
+def _key(iteration: int, variable: str) -> str:
+    return f"{iteration:06d}{_KEY_SEP}{variable}"
+
+
+def save_trajectory(path: str | Path,
+                    iterations: Iterable[dict[str, np.ndarray]],
+                    compressed: bool = False) -> int:
+    """Write checkpoints to a ``.npz`` archive; returns the iteration count.
+
+    All checkpoints must share the same variable set.  ``compressed``
+    selects zipped storage (slower, smaller -- though raw simulation data
+    barely deflates, which is the paper's Section II-A point).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    variables: set[str] | None = None
+    count = 0
+    for i, checkpoint in enumerate(iterations):
+        if variables is None:
+            variables = set(checkpoint)
+            if not variables:
+                raise ValueError("checkpoints must contain at least one variable")
+        elif set(checkpoint) != variables:
+            raise ValueError(
+                f"iteration {i} variables {sorted(checkpoint)} do not match "
+                f"{sorted(variables)}"
+            )
+        for var, data in checkpoint.items():
+            if _KEY_SEP in var:
+                raise ValueError(f"variable name may not contain {_KEY_SEP!r}")
+            arrays[_key(i, var)] = np.asarray(data)
+        count += 1
+    if count == 0:
+        raise ValueError("no iterations to save")
+    saver = np.savez_compressed if compressed else np.savez
+    saver(path, **arrays)
+    return count
+
+
+class TrajectoryReader:
+    """Random-access reader over a saved trajectory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._npz = np.load(str(path), allow_pickle=False)
+        iters: set[int] = set()
+        variables: set[str] = set()
+        for key in self._npz.files:
+            idx, _, var = key.partition(_KEY_SEP)
+            if not var:
+                raise ValueError(f"{path}: not a trajectory archive (key {key!r})")
+            iters.add(int(idx))
+            variables.add(var)
+        if not iters:
+            raise ValueError(f"{path}: empty archive")
+        self.n_iterations = max(iters) + 1
+        if iters != set(range(self.n_iterations)):
+            raise ValueError(f"{path}: missing iterations")
+        self.variables = tuple(sorted(variables))
+
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "TrajectoryReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- access ---------------------------------------------------------------
+
+    def iteration(self, i: int) -> dict[str, np.ndarray]:
+        """All variables of one checkpoint."""
+        if not 0 <= i < self.n_iterations:
+            raise IndexError(f"iteration {i} out of range [0, {self.n_iterations})")
+        return {v: self._npz[_key(i, v)] for v in self.variables}
+
+    def variable(self, var: str) -> Iterator[np.ndarray]:
+        """One variable across all iterations, in order."""
+        if var not in self.variables:
+            raise KeyError(f"{var!r} not in {self.variables}")
+        for i in range(self.n_iterations):
+            yield self._npz[_key(i, var)]
+
+    def pairs(self, var: str) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Consecutive (prev, curr) pairs -- the unit NUMARCK encodes."""
+        prev = None
+        for curr in self.variable(var):
+            if prev is not None:
+                yield prev, curr
+            prev = curr
+
+    def chunk_stream(self, var: str, iteration: int, chunk_size: int):
+        """A replayable chunk-iterator factory for the streaming encoder."""
+        if not 0 <= iteration < self.n_iterations:
+            raise IndexError(f"iteration {iteration} out of range")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+        def factory() -> Iterator[np.ndarray]:
+            data = self._npz[_key(iteration, var)].ravel()
+            nsplit = max(1, -(-data.size // chunk_size))
+            return iter(np.array_split(data, nsplit))
+
+        return factory

@@ -1,0 +1,181 @@
+"""Octree AMR: the 3-D analogue of :mod:`repro.simulations.flash.amr`.
+
+FLASH's mesh is an octree of 3-D blocks; this provides it at laptop scale
+with the same operations as the quadtree (conservative injection /
+averaging, variation-based adaptation, 2:1 edge balance).  Block keys are
+``(level, iz, iy, ix)``.  :class:`~repro.simulations.flash.amr.AmrCheckpointer`
+is dimension-agnostic and works unchanged over octree snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OctTreeMesh"]
+
+BlockKey3 = tuple[int, int, int, int]
+
+
+def _children(key: BlockKey3) -> list[BlockKey3]:
+    level, iz, iy, ix = key
+    return [(level + 1, 2 * iz + dz, 2 * iy + dy, 2 * ix + dx)
+            for dz in (0, 1) for dy in (0, 1) for dx in (0, 1)]
+
+
+def _parent(key: BlockKey3) -> BlockKey3:
+    level, iz, iy, ix = key
+    if level == 0:
+        raise ValueError("root blocks have no parent")
+    return (level - 1, iz // 2, iy // 2, ix // 2)
+
+
+class OctTreeMesh:
+    """Octree of fixed-size cubic blocks over the unit cube.
+
+    Parameters
+    ----------
+    block_size:
+        Cells per block edge (paper: 16).
+    base:
+        Root layout is ``base^3`` level-0 blocks.
+    max_level:
+        Deepest refinement level allowed.
+    """
+
+    def __init__(self, block_size: int = 8, base: int = 1,
+                 max_level: int = 3) -> None:
+        if block_size < 2 or block_size % 2:
+            raise ValueError(
+                f"block_size must be an even integer >= 2, got {block_size}"
+            )
+        if base < 1:
+            raise ValueError(f"base must be >= 1, got {base}")
+        if max_level < 0:
+            raise ValueError(f"max_level must be >= 0, got {max_level}")
+        self.block_size = block_size
+        self.base = base
+        self.max_level = max_level
+        self.leaves: dict[BlockKey3, np.ndarray] = {}
+        bs = block_size
+        for iz in range(base):
+            for iy in range(base):
+                for ix in range(base):
+                    self.leaves[(0, iz, iy, ix)] = np.zeros((bs, bs, bs))
+
+    # -- geometry -------------------------------------------------------------
+
+    def block_extent(self, key: BlockKey3) -> tuple[float, float, float, float]:
+        """(x0, y0, z0, width) of a cubic block in the unit cube."""
+        level, iz, iy, ix = key
+        n = self.base * (1 << level)
+        w = 1.0 / n
+        return ix * w, iy * w, iz * w, w
+
+    def cell_centers(self, key: BlockKey3):
+        """(zz, yy, xx) cell-center coordinates of one block."""
+        x0, y0, z0, w = self.block_extent(key)
+        bs = self.block_size
+        ax = lambda o: o + (np.arange(bs) + 0.5) * w / bs  # noqa: E731
+        return np.meshgrid(ax(z0), ax(y0), ax(x0), indexing="ij")
+
+    def cell_volume(self, key: BlockKey3) -> float:
+        w = self.block_extent(key)[3]
+        return (w / self.block_size) ** 3
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_leaves * self.block_size ** 3
+
+    def total_integral(self) -> float:
+        return float(sum(d.sum() * self.cell_volume(k)
+                         for k, d in self.leaves.items()))
+
+    # -- refinement --------------------------------------------------------------
+
+    def refine(self, key: BlockKey3) -> list[BlockKey3]:
+        """Split a leaf into its eight children (conservative injection)."""
+        if key not in self.leaves:
+            raise KeyError(f"{key} is not a leaf")
+        if key[0] >= self.max_level:
+            raise ValueError(f"{key} already at max level {self.max_level}")
+        data = self.leaves.pop(key)
+        half = self.block_size // 2
+        children = _children(key)
+        for child in children:
+            dz = child[1] - 2 * key[1]
+            dy = child[2] - 2 * key[2]
+            dx = child[3] - 2 * key[3]
+            octant = data[dz * half : (dz + 1) * half,
+                          dy * half : (dy + 1) * half,
+                          dx * half : (dx + 1) * half]
+            fine = np.repeat(np.repeat(np.repeat(octant, 2, axis=0),
+                                       2, axis=1), 2, axis=2)
+            self.leaves[child] = fine
+        return children
+
+    def coarsen(self, parent_key: BlockKey3) -> BlockKey3:
+        """Merge eight sibling leaves into their parent (averaging)."""
+        children = _children(parent_key)
+        if any(c not in self.leaves for c in children):
+            raise KeyError(f"children of {parent_key} are not all leaves")
+        bs = self.block_size
+        half = bs // 2
+        data = np.empty((bs, bs, bs))
+        for child in children:
+            dz = child[1] - 2 * parent_key[1]
+            dy = child[2] - 2 * parent_key[2]
+            dx = child[3] - 2 * parent_key[3]
+            fine = self.leaves.pop(child)
+            coarse = fine.reshape(half, 2, half, 2, half, 2).mean(axis=(1, 3, 5))
+            data[dz * half : (dz + 1) * half,
+                 dy * half : (dy + 1) * half,
+                 dx * half : (dx + 1) * half] = coarse
+        self.leaves[parent_key] = data
+        return parent_key
+
+    # -- fields and adaptation -----------------------------------------------------
+
+    def sample(self, fn) -> None:
+        """Fill every leaf from ``fn(zz, yy, xx)`` at cell centers."""
+        for key in self.leaves:
+            zz, yy, xx = self.cell_centers(key)
+            self.leaves[key] = np.asarray(fn(zz, yy, xx), dtype=np.float64)
+
+    def data(self, key: BlockKey3) -> np.ndarray:
+        return self.leaves[key]
+
+    def snapshot(self) -> dict[BlockKey3, np.ndarray]:
+        return {k: d.copy() for k, d in self.leaves.items()}
+
+    def _indicator(self, data: np.ndarray) -> float:
+        span = float(data.max() - data.min())
+        return span / (float(np.abs(data).mean()) + 1e-12)
+
+    def adapt(self, refine_above: float = 0.5,
+              coarsen_below: float = 0.05) -> tuple[int, int]:
+        """One adaptation sweep; returns (n_refined, n_coarsened)."""
+        if coarsen_below >= refine_above:
+            raise ValueError("coarsen_below must be < refine_above")
+        n_ref = 0
+        for key in sorted(self.leaves):
+            if key in self.leaves and key[0] < self.max_level and \
+                    self._indicator(self.leaves[key]) > refine_above:
+                self.refine(key)
+                n_ref += 1
+
+        n_coars = 0
+        parents: dict[BlockKey3, list[BlockKey3]] = {}
+        for key in self.leaves:
+            if key[0] > 0:
+                parents.setdefault(_parent(key), []).append(key)
+        for parent_key, kids in sorted(parents.items()):
+            if len(kids) == 8 and all(
+                self._indicator(self.leaves[c]) < coarsen_below for c in kids
+            ):
+                self.coarsen(parent_key)
+                n_coars += 1
+        return n_ref, n_coars

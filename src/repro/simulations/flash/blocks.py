@@ -1,0 +1,138 @@
+"""Block-structured mesh with guard cells.
+
+FLASH decomposes the domain into fixed-size blocks (the paper uses 16 x 16
+with 4 guard cells on every side) distributed across MPI processes; each
+block computes on its interior after filling guards from its neighbours.
+:class:`BlockGrid` reproduces that data layout over a periodic uniform
+grid:
+
+* ``scatter(global)`` fills every block's interior from the global array;
+* ``exchange()`` fills all guard layers from neighbouring interiors
+  (periodic wrap at domain edges);
+* ``gather()`` reassembles the global array from the interiors;
+* ``owner(block_id)`` maps blocks round-robin to simulated ranks, the
+  paper's "about 80 blocks on each MPI process" layout at reduced scale.
+
+The test suite validates ``exchange`` against a plain ``np.roll`` of the
+global field, and the distributed-checkpoint example compresses per-rank
+block data with NUMARCK just as an in-situ integration would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BlockGrid"]
+
+
+class BlockGrid:
+    """Periodic 2-D domain split into fixed-size guarded blocks.
+
+    Parameters
+    ----------
+    ny, nx:
+        Global interior size; must be divisible by ``block``.
+    block:
+        Interior block edge length (paper: 16).
+    guard:
+        Guard-cell depth on every side (paper: 4).
+    n_ranks:
+        Number of simulated MPI processes blocks are distributed over.
+    """
+
+    def __init__(self, ny: int, nx: int, block: int = 16, guard: int = 4,
+                 n_ranks: int = 1) -> None:
+        if ny % block or nx % block:
+            raise ValueError(f"grid {ny}x{nx} not divisible by block size {block}")
+        if guard < 0 or guard > block:
+            raise ValueError(f"guard must be in [0, {block}], got {guard}")
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.ny, self.nx = ny, nx
+        self.block = block
+        self.guard = guard
+        self.n_ranks = n_ranks
+        self.nby = ny // block
+        self.nbx = nx // block
+        side = block + 2 * guard
+        # blocks[b] is (side, side); interior is [guard:-guard, guard:-guard].
+        self.blocks = np.zeros((self.nby * self.nbx, side, side), dtype=np.float64)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return self.nby * self.nbx
+
+    def block_index(self, by: int, bx: int) -> int:
+        return by * self.nbx + bx
+
+    def owner(self, block_id: int) -> int:
+        """Round-robin rank assignment of a block."""
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        return block_id % self.n_ranks
+
+    def rank_blocks(self, rank: int) -> list[int]:
+        """Blocks owned by ``rank``."""
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range")
+        return list(range(rank, self.n_blocks, self.n_ranks))
+
+    def interior(self, block_id: int) -> np.ndarray:
+        """View of a block's interior cells."""
+        g = self.guard
+        b = self.blocks[block_id]
+        return b[g : g + self.block, g : g + self.block] if g else b
+
+    # -- data movement --------------------------------------------------------
+
+    def scatter(self, global_field: np.ndarray) -> None:
+        """Fill every block interior from the global array."""
+        arr = np.asarray(global_field, dtype=np.float64)
+        if arr.shape != (self.ny, self.nx):
+            raise ValueError(f"expected shape {(self.ny, self.nx)}, got {arr.shape}")
+        bs = self.block
+        for by in range(self.nby):
+            for bx in range(self.nbx):
+                self.interior(self.block_index(by, bx))[:] = arr[
+                    by * bs : (by + 1) * bs, bx * bs : (bx + 1) * bs
+                ]
+
+    def gather(self) -> np.ndarray:
+        """Reassemble the global array from block interiors."""
+        out = np.empty((self.ny, self.nx), dtype=np.float64)
+        bs = self.block
+        for by in range(self.nby):
+            for bx in range(self.nbx):
+                out[by * bs : (by + 1) * bs, bx * bs : (bx + 1) * bs] = self.interior(
+                    self.block_index(by, bx)
+                )
+        return out
+
+    def exchange(self) -> None:
+        """Fill every block's guard cells from neighbour interiors.
+
+        Periodic wrap in both directions.  Implemented by building the
+        guard-padded window of each block from a wrapped copy of the
+        gathered global field -- equivalent to (and tested against) the
+        message-passing exchange a distributed run would perform, including
+        the corner regions diagonal neighbours provide.
+        """
+        g = self.guard
+        if g == 0:
+            return
+        glob = self.gather()
+        padded = np.pad(glob, g, mode="wrap")
+        bs = self.block
+        for by in range(self.nby):
+            for bx in range(self.nbx):
+                y0 = by * bs
+                x0 = bx * bs
+                self.blocks[self.block_index(by, bx)][:] = padded[
+                    y0 : y0 + bs + 2 * g, x0 : x0 + bs + 2 * g
+                ]
+
+    def guard_halo(self, block_id: int) -> np.ndarray:
+        """Copy of a block including guards (after :meth:`exchange`)."""
+        return self.blocks[block_id].copy()

@@ -1,0 +1,83 @@
+"""Gamma-law equation of state.
+
+FLASH checkpoints two adiabatic indices: ``gamc`` (the sound-speed gamma,
+``c_s^2 = gamc * p / rho``) and ``game`` (the energy gamma,
+``p = (game - 1) * rho * eint``).  For a perfect single-species gas both
+equal the constant ratio of specific heats, which would make those
+variables trivially compressible; real FLASH EOS calls return values that
+drift slightly with the thermodynamic state.  We model that with a small
+temperature-dependent departure (excitation of internal degrees of freedom
+lowers gamma at high temperature), keeping the two indices consistent with
+the stored pres/eint relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GammaLawEOS"]
+
+
+@dataclass(frozen=True)
+class GammaLawEOS:
+    """Ideal-gas EOS with weakly temperature-dependent gamma.
+
+    Parameters
+    ----------
+    gamma0:
+        Cold-gas adiabatic index (default 1.4, diatomic).
+    gamma_drop:
+        Maximum depression of gamma at high temperature.
+    t_excite:
+        Temperature scale of the depression.
+    gas_constant:
+        Specific gas constant R (J / kg / K) used for the ``temp`` field.
+    """
+
+    gamma0: float = 1.4
+    gamma_drop: float = 0.06
+    t_excite: float = 2.0
+    gas_constant: float = 1.0
+
+    def game(self, dens: np.ndarray, eint: np.ndarray) -> np.ndarray:
+        """Energy gamma: p = (game - 1) rho eint.
+
+        Evaluated from a proxy temperature so that ``game`` varies smoothly
+        with the state; the solver then derives pressure from this value,
+        keeping ``pres``/``eint``/``game`` mutually consistent.
+        """
+        t_proxy = np.maximum(eint, 0.0) * (self.gamma0 - 1.0) / self.gas_constant
+        return self.gamma0 - self.gamma_drop * t_proxy / (t_proxy + self.t_excite)
+
+    def gamc(self, dens: np.ndarray, eint: np.ndarray) -> np.ndarray:
+        """Sound-speed gamma; for this EOS it tracks ``game`` closely."""
+        return self.game(dens, eint) + 0.25 * self.gamma_drop * np.tanh(
+            np.maximum(eint, 0.0) / (10.0 * self.t_excite)
+        )
+
+    def pressure(self, dens: np.ndarray, eint: np.ndarray) -> np.ndarray:
+        """p = (game - 1) rho eint."""
+        return (self.game(dens, eint) - 1.0) * dens * np.maximum(eint, 0.0)
+
+    def eint_from_pressure(self, dens: np.ndarray, pres: np.ndarray) -> np.ndarray:
+        """Invert ``pressure`` for initial conditions.
+
+        ``game`` depends (mildly) on ``eint``, so a few fixed-point sweeps
+        are used; convergence is fast because d(game)/d(eint) is tiny.
+        """
+        eint = pres / ((self.gamma0 - 1.0) * np.maximum(dens, 1e-300))
+        for _ in range(8):
+            eint = pres / ((self.game(dens, eint) - 1.0) * np.maximum(dens, 1e-300))
+        return eint
+
+    def temperature(self, dens: np.ndarray, pres: np.ndarray) -> np.ndarray:
+        """Ideal-gas temperature T = p / (rho R)."""
+        return pres / (np.maximum(dens, 1e-300) * self.gas_constant)
+
+    def sound_speed(self, dens: np.ndarray, pres: np.ndarray,
+                    eint: np.ndarray) -> np.ndarray:
+        """c_s = sqrt(gamc p / rho)."""
+        return np.sqrt(self.gamc(dens, eint) * np.maximum(pres, 0.0)
+                       / np.maximum(dens, 1e-300))

@@ -1,0 +1,153 @@
+"""Exact Riemann solver for the 1-D Euler equations (gamma-law gas).
+
+Used to validate the finite-volume solver: the Sod shock tube has a known
+exact solution (rarefaction - contact - shock), and the test suite checks
+that :class:`~repro.simulations.flash.euler.Euler2D` converges to it.
+
+Standard Toro (Ch. 4) construction: solve the pressure equation in the
+star region with Newton iterations using the two-rarefaction/two-shock
+flux functions, then sample the self-similar solution at ``x / t``.
+Constant ``gamma`` (the weak temperature dependence of the production EOS
+is irrelevant at validation tolerances and is disabled by passing
+``GammaLawEOS(gamma_drop=0)`` to the solver under test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RiemannState", "exact_riemann", "sod_exact"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state on one side of the interface."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+
+def _pressure_function(p: float, state: RiemannState, gamma: float
+                       ) -> tuple[float, float]:
+    """Toro's f(p, W) and its derivative for one side."""
+    a = np.sqrt(gamma * state.p / state.rho)
+    if p > state.p:
+        # Shock branch.
+        big_a = 2.0 / ((gamma + 1.0) * state.rho)
+        big_b = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sqrt_term = np.sqrt(big_a / (p + big_b))
+        f = (p - state.p) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - state.p) / (p + big_b))
+    else:
+        # Rarefaction branch.
+        exp = (gamma - 1.0) / (2.0 * gamma)
+        f = 2.0 * a / (gamma - 1.0) * ((p / state.p) ** exp - 1.0)
+        df = (p / state.p) ** (-(gamma + 1.0) / (2.0 * gamma)) / (state.rho * a)
+    return f, df
+
+
+def _star_pressure(left: RiemannState, right: RiemannState, gamma: float,
+                   tol: float = 1e-12, max_iter: int = 100) -> float:
+    """Newton solve for the star-region pressure."""
+    # PVRS initial guess, floored away from vacuum.
+    a_l = np.sqrt(gamma * left.p / left.rho)
+    a_r = np.sqrt(gamma * right.p / right.rho)
+    rho_bar = 0.5 * (left.rho + right.rho)
+    a_bar = 0.5 * (a_l + a_r)
+    p = max(0.5 * (left.p + right.p)
+            - 0.125 * (right.u - left.u) * rho_bar * a_bar, 1e-8)
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        g = f_l + f_r + (right.u - left.u)
+        step = g / (df_l + df_r)
+        p_new = max(p - step, 1e-10)
+        if abs(p_new - p) < tol * p:
+            return p_new
+        p = p_new
+    return p
+
+
+def exact_riemann(left: RiemannState, right: RiemannState, xi: np.ndarray,
+                  gamma: float = 1.4) -> dict[str, np.ndarray]:
+    """Sample the exact solution at similarity coordinates ``xi = x / t``.
+
+    Returns the primitive fields ``rho``, ``u``, ``p`` as arrays matching
+    ``xi``.  Raises for (near-)vacuum-generating data, which the test
+    problems never produce.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    a_l = np.sqrt(gamma * left.p / left.rho)
+    a_r = np.sqrt(gamma * right.p / right.rho)
+    if 2.0 * (a_l + a_r) / (gamma - 1.0) <= right.u - left.u:
+        raise ValueError("initial data generates vacuum")
+
+    p_star = _star_pressure(left, right, gamma)
+    f_l, _ = _pressure_function(p_star, left, gamma)
+    f_r, _ = _pressure_function(p_star, right, gamma)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+
+    g1 = (gamma - 1.0) / (gamma + 1.0)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_side = xi <= u_star
+    for side, mask in (("L", left_side), ("R", ~left_side)):
+        if side == "L":
+            s = left
+            a = a_l
+            sign = 1.0
+        else:
+            s = right
+            a = a_r
+            sign = -1.0
+        if p_star > s.p:
+            # Shock on this side.
+            q = np.sqrt((gamma + 1.0) / (2.0 * gamma) * p_star / s.p
+                        + (gamma - 1.0) / (2.0 * gamma))
+            speed = s.u - sign * a * q
+            rho_star = s.rho * ((p_star / s.p + g1) / (g1 * p_star / s.p + 1.0))
+            ahead = (xi * sign) < (speed * sign)
+            rho[mask] = np.where(ahead[mask], s.rho, rho_star)
+            u[mask] = np.where(ahead[mask], s.u, u_star)
+            p[mask] = np.where(ahead[mask], s.p, p_star)
+        else:
+            # Rarefaction fan on this side.
+            a_star = a * (p_star / s.p) ** ((gamma - 1.0) / (2.0 * gamma))
+            rho_star = s.rho * (p_star / s.p) ** (1.0 / gamma)
+            head = s.u - sign * a
+            tail = u_star - sign * a_star
+            xim = xi[mask]
+            in_ahead = (xim * sign) < (head * sign)
+            in_fan = ~in_ahead & ((xim * sign) < (tail * sign))
+            # Fan interior (Toro Eqs. 4.56 / 4.63).
+            fan_u = 2.0 / (gamma + 1.0) * (sign * a + (gamma - 1.0) / 2.0 * s.u
+                                           + xim)
+            fan_a = 2.0 / (gamma + 1.0) * (a + sign * (gamma - 1.0) / 2.0
+                                           * (s.u - xim))
+            fan_rho = s.rho * (fan_a / a) ** (2.0 / (gamma - 1.0))
+            fan_p = s.p * (fan_a / a) ** (2.0 * gamma / (gamma - 1.0))
+            rho[mask] = np.where(in_ahead, s.rho,
+                                 np.where(in_fan, fan_rho, rho_star))
+            u[mask] = np.where(in_ahead, s.u, np.where(in_fan, fan_u, u_star))
+            p[mask] = np.where(in_ahead, s.p, np.where(in_fan, fan_p, p_star))
+    return {"rho": rho, "u": u, "p": p}
+
+
+def sod_exact(x: np.ndarray, t: float, x0: float = 0.5,
+              gamma: float = 1.4) -> dict[str, np.ndarray]:
+    """Exact Sod shock-tube solution at time ``t`` (diaphragm at ``x0``)."""
+    if t <= 0:
+        raise ValueError("t must be positive")
+    left = RiemannState(rho=1.0, u=0.0, p=1.0)
+    right = RiemannState(rho=0.125, u=0.0, p=0.1)
+    xi = (np.asarray(x, dtype=np.float64) - x0) / t
+    return exact_riemann(left, right, xi, gamma=gamma)

@@ -1,0 +1,46 @@
+"""Shared fixtures: deterministic RNG and small simulation instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulations.cmip import CmipSimulation
+from repro.simulations.flash import FlashSimulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A NUMARCK-friendly iteration pair: small concentrated changes."""
+    prev = rng.uniform(1.0, 2.0, size=8000)
+    curr = prev * (1.0 + rng.normal(0.0, 0.002, size=8000))
+    return prev, curr
+
+
+@pytest.fixture
+def hard_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A hostile pair: zeros, sign flips, wide multiplicative changes."""
+    prev = rng.normal(0.0, 1.0, size=4000)
+    prev[::17] = 0.0
+    curr = prev * (1.0 + rng.normal(0.0, 0.2, size=4000))
+    curr[::29] = -curr[::29]
+    return prev, curr
+
+
+@pytest.fixture(scope="session")
+def flash_checkpoints() -> list[dict[str, np.ndarray]]:
+    """Seven checkpoints of a small Sedov run (shared across tests)."""
+    sim = FlashSimulation("sedov", ny=32, nx=32, steps_per_checkpoint=2)
+    return list(sim.run(6))
+
+
+@pytest.fixture(scope="session")
+def cmip_rlus_checkpoints() -> list[np.ndarray]:
+    """Six daily rlus iterations on a reduced grid."""
+    sim = CmipSimulation("rlus", nlat=30, nlon=48, seed=11)
+    return [cp["rlus"] for cp in sim.run(5)]

@@ -1,0 +1,136 @@
+"""DriftDetector and CadenceController tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CadenceController, DriftDetector
+from repro.core import CheckpointChain, NumarckConfig
+
+
+class TestDriftDetector:
+    def _calm_stream(self, rng, n=15, size=4000):
+        states = [rng.uniform(1, 2, size)]
+        for _ in range(n - 1):
+            states.append(states[-1] * (1 + rng.normal(0, 0.002, size)))
+        return states
+
+    def test_calm_stream_not_flagged(self, rng):
+        det = DriftDetector(threshold=6.0)
+        for s in self._calm_stream(rng):
+            det.observe(s)
+        assert det.flagged == []
+
+    def test_corruption_flagged(self, rng):
+        states = self._calm_stream(rng, n=16)
+        states[10] = states[10].copy()
+        states[10][:1200] *= 1.05  # soft error on 30 % of the state
+        det = DriftDetector(threshold=4.0)
+        for s in states:
+            det.observe(s)
+        assert det.flagged, "corruption must be detected"
+        assert any(10 <= it <= 12 for it in det.flagged)
+
+    def test_warmup_suppresses_early_flags(self, rng):
+        det = DriftDetector(warmup=5, threshold=2.0)
+        states = self._calm_stream(rng, n=6)
+        states[2] = states[2] * 1.5  # violent but during warmup
+        for s in states:
+            det.observe(s)
+        assert all(r.iteration > 5 or not r.anomalous for r in det.readings)
+
+    def test_first_observations_return_none(self, rng):
+        det = DriftDetector()
+        assert det.observe(rng.uniform(1, 2, 100)) is None
+        assert det.observe(rng.uniform(1, 2, 100)) is None
+        assert det.observe(rng.uniform(1, 2, 100)) is not None
+
+    def test_anomaly_excluded_from_baseline(self, rng):
+        """A detected event must not inflate the baseline and mask a
+        second event."""
+        states = self._calm_stream(rng, n=24)
+        for day in (10, 16):
+            states[day] = states[day].copy()
+            states[day][:1500] *= 1.06
+        det = DriftDetector(threshold=4.0)
+        for s in states:
+            det.observe(s)
+        hits = det.flagged
+        assert any(10 <= it <= 12 for it in hits)
+        assert any(16 <= it <= 18 for it in hits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(bins=2)
+        with pytest.raises(ValueError):
+            DriftDetector(clip=0)
+        with pytest.raises(ValueError):
+            DriftDetector(window=1)
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.5)
+
+
+class TestCadenceController:
+    def _stats(self, rng, gamma=0.0, mean_error=1e-5):
+        from repro.core.metrics import CompressionStats
+
+        n = 1000
+        return CompressionStats(
+            n_points=n, n_incompressible=int(gamma * n), n_bins=100, nbits=8,
+            mean_error=mean_error, max_error=10 * mean_error,
+            ratio_paper=80.0, ratio_actual=78.0,
+        )
+
+    def test_within_budget_keeps_delta(self, rng):
+        ctl = CadenceController(error_budget=1e-2, max_depth=10)
+        d = ctl.observe_delta(self._stats(rng))
+        assert not d.write_full
+        assert d.depth == 1
+
+    def test_gamma_triggers_full(self, rng):
+        ctl = CadenceController(gamma_threshold=0.4)
+        d = ctl.observe_delta(self._stats(rng, gamma=0.6))
+        assert d.write_full and "incompressible" in d.reason
+
+    def test_error_budget_triggers_full(self, rng):
+        ctl = CadenceController(error_budget=2.5e-4, max_depth=100)
+        decisions = [ctl.observe_delta(self._stats(rng, mean_error=1e-4))
+                     for _ in range(3)]
+        assert not decisions[0].write_full
+        assert not decisions[1].write_full
+        assert decisions[2].write_full and "accumulated" in decisions[2].reason
+
+    def test_depth_cap_triggers_full(self, rng):
+        ctl = CadenceController(error_budget=1.0, max_depth=4)
+        decisions = [ctl.observe_delta(self._stats(rng)) for _ in range(4)]
+        assert decisions[-1].write_full and "depth" in decisions[-1].reason
+
+    def test_reset_after_full(self, rng):
+        ctl = CadenceController(max_depth=2, error_budget=1.0)
+        ctl.observe_delta(self._stats(rng))
+        ctl.observe_delta(self._stats(rng))
+        ctl.notify_full_checkpoint()
+        assert ctl.depth == 0
+        assert not ctl.observe_delta(self._stats(rng)).write_full
+
+    def test_integration_with_chain(self, rng):
+        """Drive the controller from real chain stats."""
+        ctl = CadenceController(error_budget=3e-4, max_depth=50)
+        data = rng.uniform(1, 2, 2000)
+        chain = CheckpointChain(data, NumarckConfig(error_bound=1e-3))
+        full_written = 0
+        for _ in range(12):
+            data = data * (1 + rng.normal(0, 0.003, 2000))
+            stats = chain.append(data)
+            if ctl.observe_delta(stats).write_full:
+                chain = CheckpointChain(data, NumarckConfig(error_bound=1e-3))
+                ctl.notify_full_checkpoint()
+                full_written += 1
+        assert full_written >= 1, "budget must eventually force a full checkpoint"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CadenceController(error_budget=0)
+        with pytest.raises(ValueError):
+            CadenceController(gamma_threshold=0)
+        with pytest.raises(ValueError):
+            CadenceController(max_depth=0)

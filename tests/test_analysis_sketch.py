@@ -1,0 +1,164 @@
+"""RatioSketch tests: merging, quantiles, sketch-fit models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import RatioSketch
+from repro.parallel import SerialComm, block_partition, parallel_encode, run_spmd
+from repro.core import NumarckConfig, decode_iteration
+
+E = 1e-3
+
+
+class TestSketchBasics:
+    def test_total_counts(self, rng):
+        sk = RatioSketch(E).add(rng.normal(0, 0.01, 1000))
+        assert sk.total == 1000
+
+    def test_chainable_add(self, rng):
+        sk = RatioSketch(E).add(rng.normal(size=10)).add(rng.normal(size=5))
+        assert sk.total == 15
+
+    def test_outliers_clipped_into_edge_bins(self):
+        sk = RatioSketch(E, max_magnitude=10.0)
+        sk.add(np.array([1e12, -1e12]))
+        assert sk.total == 2
+        assert sk.counts[0] == 1 and sk.counts[-1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RatioSketch(0.0)
+        with pytest.raises(ValueError):
+            RatioSketch(E, bins=4)
+        with pytest.raises(ValueError):
+            RatioSketch(E, max_magnitude=E / 2)
+
+
+class TestMerging:
+    def test_merge_equals_joint_build(self, rng):
+        a_data = rng.normal(0, 0.01, 700)
+        b_data = rng.normal(0.05, 0.02, 300)
+        merged = RatioSketch(E).add(a_data).merge(RatioSketch(E).add(b_data))
+        joint = RatioSketch(E).add(np.concatenate([a_data, b_data]))
+        np.testing.assert_array_equal(merged.counts, joint.counts)
+
+    def test_add_operator(self, rng):
+        a = RatioSketch(E).add(rng.normal(size=100))
+        b = RatioSketch(E).add(rng.normal(size=50))
+        c = a + b
+        assert c.total == 150
+        assert a.total == 100, "operands must be unchanged"
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(ValueError, match="binnings"):
+            RatioSketch(E, bins=64).merge(RatioSketch(E, bins=128))
+        with pytest.raises(ValueError, match="binnings"):
+            RatioSketch(1e-3).merge(RatioSketch(1e-2))
+
+
+class TestQuantiles:
+    def test_median_of_symmetric_data(self, rng):
+        sk = RatioSketch(E).add(rng.normal(0, 0.02, 50_000))
+        assert abs(sk.quantile(0.5)) < 2e-3
+
+    def test_quantile_ordering(self, rng):
+        sk = RatioSketch(E).add(rng.normal(0, 0.05, 20_000))
+        qs = [sk.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert all(a <= b for a, b in zip(qs, qs[1:]))
+
+    def test_quantile_accuracy(self, rng):
+        data = rng.uniform(-0.1, 0.1, 100_000)
+        sk = RatioSketch(E).add(data)
+        for q in (0.1, 0.5, 0.9):
+            exact = np.quantile(data, q)
+            assert abs(sk.quantile(q) - exact) < 0.01
+
+    def test_empty_and_bad_q(self):
+        sk = RatioSketch(E)
+        with pytest.raises(ValueError, match="empty"):
+            sk.quantile(0.5)
+        sk.add(np.array([0.01]))
+        with pytest.raises(ValueError):
+            sk.quantile(1.5)
+
+
+class TestSketchFit:
+    def test_model_covers_like_exact_fit(self, rng):
+        """Model fitted from the sketch should cover nearly as many points
+        as the model fitted from the raw data."""
+        from repro.core.strategies import ClusteringStrategy
+
+        data = np.concatenate([
+            rng.normal(-0.02, 5 * E, 5000),
+            rng.normal(0.05, 5 * E, 5000),
+        ])
+        exact = ClusteringStrategy(seed=0).fit(data, 255, E)
+        sketch_model = RatioSketch(E).add(data).fit_model(255)
+        fail_exact = np.mean(np.abs(exact.approximate(data) - data) >= E)
+        fail_sketch = np.mean(np.abs(sketch_model.approximate(data) - data) >= E)
+        assert fail_sketch <= fail_exact + 0.05
+
+    def test_few_occupied_bins_exact(self):
+        sk = RatioSketch(E).add(np.full(100, 0.02)).add(np.full(50, -0.07))
+        model = sk.fit_model(16)
+        assert model.n_bins == 2
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RatioSketch(E).fit_model(8)
+
+    def test_bad_k(self, rng):
+        sk = RatioSketch(E).add(rng.normal(size=10))
+        with pytest.raises(ValueError):
+            sk.fit_model(0)
+
+
+class TestSketchEncodePath:
+    def test_serial_sketch_mode_guarantee(self, rng):
+        prev = rng.uniform(1, 2, 5000)
+        curr = prev * (1 + rng.normal(0, 0.003, 5000))
+        cfg = NumarckConfig(error_bound=E, nbits=8, strategy="clustering")
+        enc, stats = parallel_encode(SerialComm(), prev, curr, cfg,
+                                     fit_mode="sketch", refine=False)
+        out = decode_iteration(prev, enc)
+        rel = np.abs(out / curr - 1)
+        rel[enc.incompressible] = 0
+        assert rel.max() < 1.2e-3
+        assert stats.n_points == 5000
+
+    def test_spmd_sketch_matches_across_ranks(self, rng):
+        prev = rng.uniform(1, 2, 3000)
+        curr = prev * (1 + rng.normal(0, 0.004, 3000))
+        cfg = NumarckConfig(error_bound=E, nbits=8, strategy="clustering")
+
+        def worker(comm, ps, cs, cfg):
+            enc, stats = parallel_encode(comm, ps[comm.rank], cs[comm.rank],
+                                         cfg, fit_mode="sketch", refine=False)
+            return enc.representatives, stats.n_incompressible
+
+        results = run_spmd(worker, 2, block_partition(prev, 2),
+                           block_partition(curr, 2), cfg)
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]
+
+    def test_unknown_fit_mode(self, rng):
+        with pytest.raises(ValueError, match="fit_mode"):
+            parallel_encode(SerialComm(), rng.uniform(1, 2, 10),
+                            rng.uniform(1, 2, 10), NumarckConfig(),
+                            fit_mode="magic")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), splits=st.integers(2, 6))
+def test_property_merge_associative(seed, splits):
+    """Any partition of the data merges to the same sketch."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 0.05, 500)
+    joint = RatioSketch(E).add(data)
+    parts = np.array_split(data, splits)
+    merged = RatioSketch(E)
+    for p in parts:
+        merged.merge(RatioSketch(E).add(p))
+    np.testing.assert_array_equal(joint.counts, merged.counts)

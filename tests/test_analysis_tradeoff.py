@@ -1,0 +1,63 @@
+"""Rate-distortion sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TradeoffPoint, pareto_frontier, sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(21)
+    prev = rng.uniform(1, 2, 6000)
+    curr = prev * (1 + rng.normal(0, 0.004, 6000))
+    return sweep(prev, curr, error_bounds=(5e-4, 1e-3, 5e-3),
+                 nbits=(6, 8, 10))
+
+
+class TestSweep:
+    def test_grid_size(self, points):
+        assert len(points) == 9
+
+    def test_guarantee_at_every_configuration(self, points):
+        for p in points:
+            assert p.max_error < p.error_bound
+            assert p.mean_error <= p.max_error
+
+    def test_larger_e_never_worse_ratio(self, points):
+        """At fixed B, loosening the tolerance cannot shrink the ratio."""
+        for b in (6, 8, 10):
+            by_e = sorted((p for p in points if p.nbits == b),
+                          key=lambda p: p.error_bound)
+            ratios = [p.ratio for p in by_e]
+            assert all(r2 >= r1 - 1e-9 for r1, r2 in zip(ratios, ratios[1:]))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sweep(rng.normal(size=5), rng.normal(size=5), error_bounds=())
+
+
+class TestPareto:
+    def test_frontier_subset_and_sorted(self, points):
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)
+        errs = [p.mean_error for p in frontier]
+        assert errs == sorted(errs)
+
+    def test_no_dominated_points_survive(self, points):
+        frontier = pareto_frontier(points)
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_dominance_semantics(self):
+        a = TradeoffPoint(1e-3, 8, ratio=80.0, mean_error=1e-4,
+                          max_error=1e-3, incompressible_ratio=0.0)
+        b = TradeoffPoint(1e-3, 8, ratio=70.0, mean_error=2e-4,
+                          max_error=1e-3, incompressible_ratio=0.1)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([])

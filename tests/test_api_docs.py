@@ -1,0 +1,43 @@
+"""Keep docs/API.md in sync with the code.
+
+The reference is generated; this test regenerates it in memory and diffs
+against the committed file, so a public-API change without a doc refresh
+fails CI-style.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_api_docs_up_to_date():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        from gen_api_docs import generate
+    finally:
+        sys.path.pop(0)
+    committed = (REPO / "docs" / "API.md").read_text()
+    assert committed == generate(), (
+        "docs/API.md is stale; run `python tools/gen_api_docs.py`"
+    )
+
+
+def test_api_docs_cover_all_packages():
+    text = (REPO / "docs" / "API.md").read_text()
+    for pkg in ("repro.core", "repro.kmeans", "repro.io", "repro.baselines",
+                "repro.parallel", "repro.restart", "repro.analysis",
+                "repro.resilience", "repro.simulations.flash",
+                "repro.simulations.cmip"):
+        assert f"## `{pkg}`" in text, f"{pkg} missing from API reference"
+
+
+def test_public_symbols_documented():
+    """Every top-level export appears in the reference."""
+    import repro
+
+    text = (REPO / "docs" / "API.md").read_text()
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        assert f"`{name}" in text, f"{name} missing from API reference"

@@ -1,0 +1,70 @@
+"""B-Splines baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BSplineCompressor, lsq_bspline_fit
+
+
+class TestLsqFit:
+    def test_reproduces_smooth_signal(self):
+        y = np.sin(np.linspace(0, 3, 400))
+        spline = lsq_bspline_fit(y, 50)
+        out = spline(np.arange(400, dtype=float))
+        assert np.max(np.abs(out - y)) < 1e-4
+
+    def test_reproduces_polynomial_exactly(self):
+        """Cubics are in the spline space, so the LSQ fit is exact."""
+        x = np.linspace(0, 1, 200)
+        y = 1 + 2 * x - 3 * x**2 + 0.5 * x**3
+        spline = lsq_bspline_fit(y, 20)
+        out = spline(np.arange(200, dtype=float))
+        np.testing.assert_allclose(out, y, atol=1e-8)
+
+    def test_ncoef_clamped_to_n(self):
+        y = np.arange(10, dtype=float)
+        spline = lsq_bspline_fit(y, 50)  # more coefficients than samples
+        assert len(spline.c) <= 10
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            lsq_bspline_fit(np.array([1.0, 2.0]), 4)
+
+
+class TestCompressor:
+    def test_paper_ratio_is_20_percent(self, rng):
+        comp = BSplineCompressor(coef_fraction=0.8)
+        enc = comp.compress(rng.normal(size=1000))
+        assert comp.compression_ratio(enc) == pytest.approx(20.0, abs=0.1)
+
+    def test_roundtrip_smooth(self):
+        comp = BSplineCompressor(coef_fraction=0.8)
+        y = np.cos(np.linspace(0, 5, 600)) * 100 + 300
+        out = comp.decompress(comp.compress(y))
+        assert np.max(np.abs(out - y)) < 1e-6
+
+    def test_noise_poorly_reconstructed(self, rng):
+        """The paper's point: raw snapshots are not smooth in index order,
+        so a B-spline at 20 % compression loses real information."""
+        y = rng.normal(size=1000)
+        comp = BSplineCompressor(coef_fraction=0.8)
+        out = comp.decompress(comp.compress(y))
+        resid = np.sqrt(np.mean((out - y) ** 2))
+        assert resid > 0.01 * np.std(y)
+
+    def test_output_length(self, rng):
+        comp = BSplineCompressor()
+        y = rng.normal(size=777)
+        assert comp.decompress(comp.compress(y)).shape == (777,)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BSplineCompressor(coef_fraction=0.0)
+        with pytest.raises(ValueError):
+            BSplineCompressor(coef_fraction=1.5)
+
+    def test_2d_input_flattened(self, rng):
+        comp = BSplineCompressor()
+        y = rng.normal(size=(20, 30))
+        enc = comp.compress(y)
+        assert enc.n == 600

@@ -1,0 +1,90 @@
+"""FPC lossless compressor tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FpcCompressor
+
+
+@pytest.fixture
+def fpc() -> FpcCompressor:
+    return FpcCompressor(table_bits=12)
+
+
+class TestRoundtrip:
+    def test_random_doubles(self, fpc, rng):
+        x = rng.normal(size=2000)
+        out = fpc.decompress(fpc.compress(x))
+        np.testing.assert_array_equal(out, x)
+
+    def test_special_values(self, fpc):
+        x = np.array([0.0, -0.0, np.nan, np.inf, -np.inf, 1e-308, 1e308, 1.0])
+        out = fpc.decompress(fpc.compress(x))
+        np.testing.assert_array_equal(x.view(np.uint64), out.view(np.uint64))
+
+    def test_empty(self, fpc):
+        out = fpc.decompress(fpc.compress(np.array([])))
+        assert out.size == 0
+
+    def test_single_value(self, fpc):
+        out = fpc.decompress(fpc.compress(np.array([3.14])))
+        assert out[0] == 3.14
+
+    def test_odd_and_even_lengths(self, fpc, rng):
+        for n in (1, 2, 3, 17, 100, 101):
+            x = rng.normal(size=n)
+            np.testing.assert_array_equal(fpc.decompress(fpc.compress(x)), x)
+
+
+class TestRatios:
+    def test_constant_stream_compresses_hard(self, fpc):
+        enc = fpc.compress(np.full(4000, 2.5))
+        assert fpc.compression_ratio(enc) > 75.0
+
+    def test_linear_ramp_predicted_by_dfcm(self, fpc):
+        """A constant-delta stream is exactly what DFCM predicts."""
+        enc = fpc.compress(1.0 + np.arange(4000) * 0.001)
+        assert fpc.compression_ratio(enc) > 75.0
+
+    def test_random_data_incompressible(self, fpc, rng):
+        """The paper's premise, again: FPC gains nothing on snapshots."""
+        enc = fpc.compress(rng.normal(size=4000))
+        assert fpc.compression_ratio(enc) < 10.0
+
+    def test_repeating_pattern_fcm(self, fpc):
+        x = np.tile(np.array([1.0, 2.0, 3.0, 4.0]), 500)
+        enc = fpc.compress(x)
+        assert fpc.compression_ratio(enc) > 50.0
+
+    def test_numarck_exact_stream_incompressible(self, fpc, hard_pair):
+        """FPC on NUMARCK's exact-value stream: little to gain, confirming
+        the paper's decision to leave the lossless pass out of scope for
+        that stream."""
+        from repro.core import NumarckConfig, encode_iteration
+
+        prev, curr = hard_pair
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        if enc.exact_values.size > 100:
+            ratio = fpc.compression_ratio(fpc.compress(enc.exact_values))
+            assert ratio < 30.0
+
+
+class TestValidation:
+    def test_table_bits_bounds(self):
+        with pytest.raises(ValueError):
+            FpcCompressor(table_bits=2)
+        with pytest.raises(ValueError):
+            FpcCompressor(table_bits=30)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(0, 300))
+def test_property_lossless(seed, n):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n) * 10.0 ** float(rng.integers(-5, 6))
+    fpc = FpcCompressor(table_bits=8)
+    out = fpc.decompress(fpc.compress(x))
+    np.testing.assert_array_equal(np.asarray(x).view(np.uint64),
+                                  out.view(np.uint64))

@@ -1,0 +1,125 @@
+"""Canonical Huffman coder tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    code_lengths,
+    huffman_decode,
+    huffman_encode,
+    huffman_size_bits,
+)
+
+
+class TestCodeLengths:
+    def test_uniform_alphabet_balanced(self):
+        lengths = code_lengths(np.full(8, 10))
+        np.testing.assert_array_equal(lengths, np.full(8, 3))
+
+    def test_skewed_gets_short_code(self):
+        lengths = code_lengths(np.array([1000, 1, 1, 1]))
+        assert lengths[0] == 1
+        assert lengths[1:].min() >= 2
+
+    def test_absent_symbols_zero_length(self):
+        lengths = code_lengths(np.array([5, 0, 5, 0]))
+        assert lengths[1] == 0 and lengths[3] == 0
+        assert lengths[0] == 1 and lengths[2] == 1
+
+    def test_single_symbol(self):
+        lengths = code_lengths(np.array([0, 42, 0]))
+        np.testing.assert_array_equal(lengths, [0, 1, 0])
+
+    def test_kraft_inequality(self, rng):
+        counts = rng.integers(0, 1000, 64)
+        counts[0] = 1  # ensure non-empty
+        lengths = code_lengths(counts)
+        present = lengths[lengths > 0]
+        assert np.sum(2.0 ** (-present.astype(float))) <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.array([]))
+        with pytest.raises(ValueError):
+            code_lengths(np.array([0, 0]))
+        with pytest.raises(ValueError):
+            code_lengths(np.array([-1, 2]))
+
+
+class TestRoundtrip:
+    def test_basic(self, rng):
+        vals = rng.integers(0, 16, 500).astype(np.uint32)
+        out = huffman_decode(huffman_encode(vals, 16))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_empty(self):
+        out = huffman_decode(huffman_encode(np.array([], dtype=np.uint32), 8))
+        assert out.size == 0
+
+    def test_single_symbol_stream(self):
+        vals = np.full(100, 3, dtype=np.uint32)
+        out = huffman_decode(huffman_encode(vals, 8))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([9], dtype=np.uint32), 8)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            huffman_decode(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_stream_detected(self, rng):
+        vals = rng.integers(0, 32, 300).astype(np.uint32)
+        blob = huffman_encode(vals, 32)
+        with pytest.raises(ValueError, match="truncated|corrupt"):
+            huffman_decode(blob[: len(blob) - 10])
+
+
+class TestCompression:
+    def test_size_prediction_matches(self, rng):
+        vals = rng.choice(64, 2000, p=np.r_[0.7, np.full(63, 0.3 / 63)])
+        blob = huffman_encode(vals.astype(np.uint32), 64)
+        payload_bits = (len(blob) - 16 - 64) * 8
+        predicted = huffman_size_bits(vals, 64)
+        assert predicted <= payload_bits < predicted + 8  # byte padding only
+
+    def test_within_one_bit_of_entropy(self, rng):
+        vals = rng.choice(256, 20_000,
+                          p=np.r_[0.6, np.full(255, 0.4 / 255)]).astype(np.uint32)
+        counts = np.bincount(vals, minlength=256)
+        p = counts[counts > 0] / vals.size
+        entropy_bits = float(-(p * np.log2(p)).sum()) * vals.size
+        coded = huffman_size_bits(vals, 256)
+        assert entropy_bits <= coded <= entropy_bits + vals.size  # +1 bit/sym
+
+    def test_numarck_index_stream_shrinks(self, smooth_pair):
+        """The motivating use: NUMARCK's 8-bit indices entropy-code well."""
+        from repro.core import NumarckConfig, encode_iteration
+
+        prev, curr = smooth_pair
+        enc = encode_iteration(prev, curr, NumarckConfig(nbits=8))
+        blob = huffman_encode(enc.indices, 256)
+        raw_bits = enc.indices.size * 8
+        assert len(blob) * 8 < 0.9 * raw_bits
+        np.testing.assert_array_equal(huffman_decode(blob), enc.indices)
+
+    def test_uniform_data_no_gain(self, rng):
+        """Huffman cannot beat the fixed-width code on uniform symbols."""
+        vals = rng.integers(0, 256, 10_000).astype(np.uint32)
+        assert huffman_size_bits(vals, 256) >= 8 * vals.size * 0.99
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), alphabet=st.integers(1, 64),
+       n=st.integers(0, 400))
+def test_property_roundtrip(seed, alphabet, n):
+    rng = np.random.default_rng(seed)
+    # Zipf-ish skew to exercise unequal code lengths.
+    p = 1.0 / np.arange(1, alphabet + 1)
+    p /= p.sum()
+    vals = rng.choice(alphabet, size=n, p=p).astype(np.uint32)
+    out = huffman_decode(huffman_encode(vals, alphabet))
+    np.testing.assert_array_equal(out, vals)

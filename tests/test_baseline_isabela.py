@@ -1,0 +1,145 @@
+"""ISABELA baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IsabelaCompressor
+from repro.core import pearson_r, rmse
+
+
+class TestStorageModel:
+    def test_paper_ratio_cmip_config(self, rng):
+        """W0=512, P_I=30 must give the paper's 80.078 %."""
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        enc = comp.compress(rng.normal(size=2048))
+        assert comp.compression_ratio(enc) == pytest.approx(80.078125)
+
+    def test_paper_ratio_flash_config(self, rng):
+        """W0=256, P_I=30 must give the paper's 75.781 %."""
+        comp = IsabelaCompressor(window_size=256, n_coef=30)
+        enc = comp.compress(rng.normal(size=1024))
+        assert comp.compression_ratio(enc) == pytest.approx(75.78125)
+
+    def test_actual_ratio_close_to_model(self, rng):
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        enc = comp.compress(rng.normal(size=5120))
+        assert comp.compression_ratio_actual(enc) == pytest.approx(
+            comp.compression_ratio(enc), abs=1.0
+        )
+
+
+class TestRoundtrip:
+    def test_high_correlation_on_noise(self, rng):
+        """ISABELA's claim: >= 0.99 correlation even on random data,
+        because the *sorted* window is smooth."""
+        y = rng.normal(100, 10, size=4096)
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        out = comp.decompress(comp.compress(y))
+        assert pearson_r(y, out) > 0.99
+
+    def test_beats_bspline_on_noise(self, rng):
+        from repro.baselines import BSplineCompressor
+
+        y = rng.normal(100, 10, size=2048)
+        isa_out = IsabelaCompressor(512, 30).decompress(
+            IsabelaCompressor(512, 30).compress(y)
+        )
+        bs = BSplineCompressor(0.8)
+        bs_out = bs.decompress(bs.compress(y))
+        assert rmse(y, isa_out) < rmse(y, bs_out)
+
+    def test_permutation_metadata_exact(self, rng):
+        """The stored permutation must be bit-exact: unpacking each window's
+        metadata recovers argsort of the original window."""
+        from repro.bitpack import unpack_bits
+
+        y = rng.normal(size=1024)
+        comp = IsabelaCompressor(window_size=256, n_coef=30)
+        enc = comp.compress(y)
+        for i, w in enumerate(enc.windows):
+            order = unpack_bits(w.packed_perm, w.length, w.perm_bits)
+            np.testing.assert_array_equal(
+                order, np.argsort(y[i * 256 : (i + 1) * 256], kind="stable")
+            )
+
+    def test_tail_window_handled(self, rng):
+        y = rng.normal(size=700)  # 512 + 188
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        out = comp.decompress(comp.compress(y))
+        assert out.shape == (700,)
+        assert pearson_r(y, out) > 0.99
+
+    def test_tiny_tail_window_verbatim(self, rng):
+        y = rng.normal(size=514)  # tail window of 2 < degree+1
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        out = comp.decompress(comp.compress(y))
+        np.testing.assert_allclose(out[512:], y[512:])
+
+    def test_monotone_input_near_exact(self):
+        y = np.linspace(0, 100, 512)
+        comp = IsabelaCompressor(window_size=512, n_coef=30)
+        out = comp.decompress(comp.compress(y))
+        assert np.max(np.abs(out - y)) < 1e-6
+
+
+class TestErrorBoundedMode:
+    def test_relative_guarantee_holds(self, rng):
+        """With error_bound set, every nonzero point is within tolerance."""
+        y = rng.normal(100, 30, size=2048)
+        comp = IsabelaCompressor(window_size=512, n_coef=10, error_bound=1e-3)
+        out = comp.decompress(comp.compress(y))
+        rel = np.abs((out - y) / y)
+        assert rel.max() <= 1e-3 + 1e-12
+
+    def test_unbounded_mode_can_violate(self, rng):
+        """Sanity: without the bound, a 10-coefficient fit of 512 noisy
+        values exceeds 0.1 % somewhere (else the guarantee test is vacuous)."""
+        y = rng.normal(100, 30, size=2048)
+        comp = IsabelaCompressor(window_size=512, n_coef=10)
+        out = comp.decompress(comp.compress(y))
+        rel = np.abs((out - y) / y)
+        assert rel.max() > 1e-3
+
+    def test_fixups_cost_charged(self, rng):
+        y = rng.normal(100, 30, size=2048)
+        plain = IsabelaCompressor(512, 10)
+        bounded = IsabelaCompressor(512, 10, error_bound=1e-3)
+        enc_plain = plain.compress(y)
+        enc_bounded = bounded.compress(y)
+        assert enc_bounded.n_fixups > 0
+        assert enc_bounded.stored_bits > enc_plain.stored_bits
+        assert bounded.compression_ratio_actual(enc_bounded) < \
+            plain.compression_ratio_actual(enc_plain)
+
+    def test_smooth_data_needs_no_fixups(self):
+        y = np.linspace(1, 100, 1024)
+        comp = IsabelaCompressor(512, 30, error_bound=1e-3)
+        assert comp.compress(y).n_fixups == 0
+
+    def test_tighter_bound_more_fixups(self, rng):
+        y = rng.normal(100, 30, size=2048)
+        loose = IsabelaCompressor(512, 10, error_bound=1e-2).compress(y)
+        tight = IsabelaCompressor(512, 10, error_bound=1e-4).compress(y)
+        assert tight.n_fixups >= loose.n_fixups
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            IsabelaCompressor(error_bound=0.0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IsabelaCompressor().compress(np.array([]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            IsabelaCompressor().compress(np.array([1.0, np.nan]))
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            IsabelaCompressor(window_size=4)
+
+    def test_bad_ncoef(self):
+        with pytest.raises(ValueError):
+            IsabelaCompressor(n_coef=2)

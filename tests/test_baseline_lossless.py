@@ -1,0 +1,96 @@
+"""Lossless helpers: preconditioners and the zlib wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    byte_shuffle,
+    byte_unshuffle,
+    compress_lossless,
+    decompress_lossless,
+    xor_precondition,
+    xor_unprecondition,
+)
+
+MODES = ("raw", "xor", "shuffle", "xor+shuffle")
+
+
+class TestPreconditioners:
+    def test_xor_roundtrip(self, rng):
+        arr = rng.normal(size=500)
+        out = xor_unprecondition(xor_precondition(arr))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_xor_zeroes_identical_neighbours(self):
+        arr = np.full(10, 3.14)
+        words = xor_precondition(arr)
+        assert np.all(words[1:] == 0)
+
+    def test_shuffle_roundtrip(self, rng):
+        raw = rng.normal(size=300).tobytes()
+        assert byte_unshuffle(byte_shuffle(raw)) == raw
+
+    def test_shuffle_bad_length(self):
+        with pytest.raises(ValueError):
+            byte_shuffle(b"12345")  # not a multiple of 8
+
+    def test_shuffle_groups_exponent_bytes(self, rng):
+        """After shuffling similar doubles, the exponent byte plane is
+        constant -> long runs the entropy coder can exploit."""
+        arr = rng.uniform(1.0, 1.001, 100)
+        shuffled = byte_shuffle(arr.tobytes())
+        last_plane = np.frombuffer(shuffled, dtype=np.uint8)[-100:]
+        assert np.unique(last_plane).size <= 2
+
+
+class TestCompressLossless:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_roundtrip(self, mode, rng):
+        arr = rng.normal(size=400)
+        out = decompress_lossless(compress_lossless(arr, mode))
+        np.testing.assert_array_equal(out, arr)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_roundtrip_special_values(self, mode):
+        arr = np.array([0.0, -0.0, np.nan, np.inf, -np.inf, 1e-300, 1e300])
+        out = decompress_lossless(compress_lossless(arr, mode))
+        np.testing.assert_array_equal(
+            np.asarray(arr).view(np.uint64), out.view(np.uint64)
+        )
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(ValueError):
+            compress_lossless(rng.normal(size=10), "bogus")
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            decompress_lossless(b"XXXX" + b"\x00" * 20)
+
+    def test_xor_exploits_temporal_smoothness(self, rng):
+        """XOR preconditioning compresses slowly varying data far better
+        than it compresses random data: nearby doubles share exponent and
+        high-mantissa bytes, so their XOR is byte-sparse."""
+        smooth = 1.0 + np.cumsum(rng.uniform(0, 1e-12, 5000))
+        random = rng.normal(size=5000)
+        smooth_size = len(compress_lossless(smooth, "xor"))
+        random_size = len(compress_lossless(random, "xor"))
+        assert smooth_size < 0.5 * smooth.nbytes
+        assert random_size > 0.75 * random.nbytes
+
+    def test_random_data_barely_compresses(self, rng):
+        """The paper's premise: high-entropy snapshots defeat lossless."""
+        arr = rng.normal(size=5000)
+        best = min(len(compress_lossless(arr, m)) for m in MODES)
+        assert best > 0.75 * arr.nbytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 300),
+       mode=st.sampled_from(MODES))
+def test_property_lossless_roundtrip(seed, n, mode):
+    rng = np.random.default_rng(seed)
+    arr = rng.normal(size=n) * 10.0 ** float(rng.integers(-10, 10))
+    out = decompress_lossless(compress_lossless(arr, mode))
+    np.testing.assert_array_equal(out, arr)

@@ -1,0 +1,124 @@
+"""Unit and property tests for repro.bitpack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack import pack_bits, packed_nbytes, unpack_bits
+
+
+class TestPackedNbytes:
+    def test_exact_multiples(self):
+        assert packed_nbytes(8, 8) == 8
+        assert packed_nbytes(8, 1) == 1
+        assert packed_nbytes(16, 4) == 8
+
+    def test_rounding_up(self):
+        assert packed_nbytes(3, 3) == 2  # 9 bits -> 2 bytes
+        assert packed_nbytes(1, 1) == 1
+        assert packed_nbytes(5, 7) == 5  # 35 bits -> 5 bytes
+
+    def test_zero_count(self):
+        assert packed_nbytes(0, 8) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(10, 0)
+        with pytest.raises(ValueError):
+            packed_nbytes(10, 33)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 8)
+
+
+class TestPackBits:
+    def test_known_layout_width8(self):
+        # width 8 is plain bytes.
+        vals = np.array([0, 1, 255, 128], dtype=np.uint32)
+        assert pack_bits(vals, 8) == bytes([0, 1, 255, 128])
+
+    def test_known_layout_width1(self):
+        # LSB-first within each byte.
+        vals = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        assert pack_bits(vals, 1) == bytes([0b10001101])
+
+    def test_known_layout_width4(self):
+        vals = np.array([0xA, 0xB], dtype=np.uint32)
+        # 0xA in low nibble, 0xB in high nibble.
+        assert pack_bits(vals, 4) == bytes([0xBA])
+
+    def test_empty(self):
+        assert pack_bits(np.array([], dtype=np.uint32), 8) == b""
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError, match="exceed"):
+            pack_bits(np.array([256], dtype=np.uint32), 8)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            pack_bits(np.array([1.0]), 8)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((2, 2), dtype=np.uint32), 8)
+
+    def test_length(self):
+        vals = np.arange(100, dtype=np.uint32) % 8
+        assert len(pack_bits(vals, 3)) == packed_nbytes(100, 3)
+
+
+class TestUnpackBits:
+    def test_roundtrip_simple(self):
+        vals = np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.uint32)
+        packed = pack_bits(vals, 4)
+        out = unpack_bits(packed, len(vals), 4)
+        np.testing.assert_array_equal(out, vals)
+
+    def test_short_buffer_raises(self):
+        with pytest.raises(ValueError, match="need"):
+            unpack_bits(b"\x00", 10, 8)
+
+    def test_extra_bytes_ignored(self):
+        vals = np.array([7, 7], dtype=np.uint32)
+        packed = pack_bits(vals, 3) + b"\xff\xff"
+        np.testing.assert_array_equal(unpack_bits(packed, 2, 3), vals)
+
+    def test_zero_count(self):
+        assert unpack_bits(b"", 0, 5).size == 0
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", -1, 8)
+
+    def test_wide_values(self):
+        vals = np.array([2**31 - 1, 0, 12345678], dtype=np.uint64)
+        packed = pack_bits(vals, 32)
+        np.testing.assert_array_equal(unpack_bits(packed, 3, 32), vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=16),
+    data=st.data(),
+)
+def test_property_roundtrip(width, data):
+    """pack -> unpack is the identity for any width and values in range."""
+    n = data.draw(st.integers(min_value=0, max_value=200))
+    vals = data.draw(
+        st.lists(st.integers(min_value=0, max_value=2**width - 1),
+                 min_size=n, max_size=n)
+    )
+    arr = np.array(vals, dtype=np.uint32)
+    out = unpack_bits(pack_bits(arr, width), n, width)
+    np.testing.assert_array_equal(out, arr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(width=st.integers(min_value=1, max_value=16),
+       n=st.integers(min_value=1, max_value=500))
+def test_property_size_is_minimal(width, n):
+    """The packed stream never exceeds ceil(n*width/8) bytes."""
+    arr = np.full(n, (1 << width) - 1, dtype=np.uint32)
+    assert len(pack_bits(arr, width)) == (n * width + 7) // 8

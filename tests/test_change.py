@@ -1,0 +1,93 @@
+"""Forward predictive coding (change-ratio transform) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import apply_change, change_ratios
+
+
+class TestChangeRatios:
+    def test_basic_ratio(self):
+        field = change_ratios(np.array([10.0, 100.0]), np.array([11.0, 110.0]))
+        np.testing.assert_allclose(field.ratios, [0.1, 0.1])
+        assert not field.forced_exact.any()
+
+    def test_paper_example_identical_relative_changes(self):
+        """10 -> 11 and 100 -> 110 share one representable ratio."""
+        field = change_ratios(np.array([10.0, 100.0]), np.array([11.0, 110.0]))
+        assert field.ratios[0] == pytest.approx(field.ratios[1])
+
+    def test_zero_base_forced_exact(self):
+        field = change_ratios(np.array([0.0, 1.0]), np.array([5.0, 2.0]))
+        assert field.forced_exact[0]
+        assert not field.forced_exact[1]
+        assert field.ratios[0] == 0.0
+
+    def test_nan_and_inf_forced_exact(self):
+        prev = np.array([1.0, np.nan, np.inf, 1.0])
+        curr = np.array([np.nan, 1.0, 1.0, np.inf])
+        field = change_ratios(prev, curr)
+        assert field.forced_exact.all()
+
+    def test_denormal_overflow_forced_exact(self):
+        prev = np.array([5e-324])  # smallest subnormal
+        curr = np.array([1.0])
+        field = change_ratios(prev, curr)
+        assert field.forced_exact[0] or np.isfinite(field.ratios[0])
+
+    def test_negative_values(self):
+        field = change_ratios(np.array([-10.0]), np.array([-11.0]))
+        assert field.ratios[0] == pytest.approx(0.1)
+
+    def test_sign_flip(self):
+        field = change_ratios(np.array([2.0]), np.array([-2.0]))
+        assert field.ratios[0] == pytest.approx(-2.0)
+
+    def test_shape_preserved(self, rng):
+        prev = rng.uniform(1, 2, (4, 5, 6))
+        curr = prev * 1.01
+        field = change_ratios(prev, curr)
+        assert field.ratios.shape == (4, 5, 6)
+        assert field.n_points == 120
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            change_ratios(np.zeros(3), np.zeros(4))
+
+    def test_unchanged_is_zero_ratio(self, rng):
+        prev = rng.uniform(1, 2, 100)
+        field = change_ratios(prev, prev)
+        np.testing.assert_array_equal(field.ratios, np.zeros(100))
+
+
+class TestApplyChange:
+    def test_inverse_of_change_ratios(self, rng):
+        prev = rng.uniform(0.5, 3.0, 1000)
+        curr = prev * rng.uniform(0.9, 1.1, 1000)
+        field = change_ratios(prev, curr)
+        rebuilt = apply_change(prev, field.ratios)
+        np.testing.assert_allclose(rebuilt, curr, rtol=1e-12)
+
+    def test_zero_ratio_carries_value(self):
+        prev = np.array([3.0, -7.0])
+        np.testing.assert_array_equal(apply_change(prev, np.zeros(2)), prev)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            apply_change(np.zeros(2), np.zeros(3))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 300))
+def test_property_roundtrip_where_defined(seed, n):
+    """ratio -> apply is the identity wherever the ratio is defined."""
+    rng = np.random.default_rng(seed)
+    prev = rng.normal(size=n) * 10.0 ** float(rng.integers(-3, 4))
+    prev[rng.random(n) < 0.1] = 0.0
+    curr = rng.normal(size=n)
+    field = change_ratios(prev, curr)
+    rebuilt = apply_change(prev, field.ratios)
+    ok = ~field.forced_exact
+    np.testing.assert_allclose(rebuilt[ok], curr[ok], rtol=1e-9, atol=1e-12)

@@ -1,0 +1,121 @@
+"""CMIP5-like generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.cmip import CMIP_VARIABLES, CmipSimulation
+from repro.simulations.cmip.fields import ar1_step, smooth_noise
+from repro.simulations.cmip.variables import VARIABLE_SPECS, VariableSpec
+
+
+class TestFields:
+    def test_smooth_noise_unit_variance(self, rng):
+        field = smooth_noise((60, 100), rng, sigma=4.0)
+        assert field.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_smooth_noise_is_correlated(self, rng):
+        field = smooth_noise((60, 100), rng, sigma=4.0)
+        # Neighbouring cells must be strongly correlated after smoothing.
+        corr = np.corrcoef(field[:, :-1].ravel(), field[:, 1:].ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_ar1_step_contracts_to_mean(self, rng):
+        state = np.full((10, 10), 5.0)
+        out = ar1_step(state, 0.0, phi=0.5, sigma=0.0, rng=rng)
+        np.testing.assert_allclose(out, 2.5)
+
+    def test_ar1_bad_phi(self, rng):
+        with pytest.raises(ValueError):
+            ar1_step(np.zeros((4, 4)), 0.0, phi=1.5, sigma=1.0, rng=rng)
+
+
+class TestVariableSpec:
+    def test_all_six_paper_variables_present(self):
+        assert set(CMIP_VARIABLES) == {"rlus", "rlds", "mrsos", "mrro", "mc",
+                                       "abs550aer"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableSpec(name="x", kind="weird")
+        with pytest.raises(ValueError):
+            VariableSpec(name="x", kind="additive", cadence="hourly")
+        with pytest.raises(ValueError):
+            VariableSpec(name="x", kind="additive", phi=2.0)
+
+    def test_mc_is_monthly_and_layered(self):
+        spec = VARIABLE_SPECS["mc"]
+        assert spec.cadence == "monthly"
+        assert spec.levels == 8
+
+
+class TestSimulation:
+    def test_deterministic_by_seed(self):
+        a = CmipSimulation("rlus", nlat=12, nlon=24, seed=9)
+        b = CmipSimulation("rlus", nlat=12, nlon=24, seed=9)
+        for _ in range(3):
+            a.advance()
+            b.advance()
+        np.testing.assert_array_equal(a.checkpoint()["rlus"],
+                                      b.checkpoint()["rlus"])
+
+    def test_different_seeds_differ(self):
+        a = CmipSimulation("rlus", nlat=12, nlon=24, seed=1).checkpoint()["rlus"]
+        b = CmipSimulation("rlus", nlat=12, nlon=24, seed=2).checkpoint()["rlus"]
+        assert not np.array_equal(a, b)
+
+    def test_paper_grid_default(self):
+        sim = CmipSimulation("rlds")
+        assert sim.checkpoint()["rlds"].shape == (90, 144)
+
+    def test_mc_has_levels(self):
+        sim = CmipSimulation("mc", nlat=12, nlon=24)
+        assert sim.checkpoint()["mc"].shape == (8, 12, 24)
+
+    def test_radiation_positive(self):
+        for var in ("rlus", "rlds"):
+            sim = CmipSimulation(var, nlat=20, nlon=30, seed=4)
+            for cp in sim.run(3):
+                assert cp[var].min() > 0
+
+    def test_mrsos_bounded(self):
+        sim = CmipSimulation("mrsos", nlat=20, nlon=30, seed=4)
+        for cp in sim.run(3):
+            assert cp["mrsos"].min() >= 0.5
+            assert cp["mrsos"].max() <= 45.0
+
+    def test_mrro_sparse_nonnegative(self):
+        sim = CmipSimulation("mrro", nlat=30, nlon=48, seed=4)
+        field = sim.checkpoint()["mrro"]
+        assert field.min() == 0.0
+        assert 0.02 < np.mean(field == 0.0) < 0.9, "a real zero fraction"
+
+    def test_abs550aer_wide_relative_changes(self):
+        """The paper's hardest variable: relative changes far wider than
+        the radiation fields'."""
+        def median_change(var):
+            sim = CmipSimulation(var, nlat=20, nlon=32, seed=5)
+            a = sim.checkpoint()[var]
+            sim.advance()
+            b = sim.checkpoint()[var]
+            nz = a != 0
+            return np.median(np.abs((b[nz] - a[nz]) / a[nz]))
+
+        assert median_change("abs550aer") > 5 * median_change("rlus")
+
+    def test_rlus_changes_concentrated(self, cmip_rlus_checkpoints):
+        """Paper Fig. 1: >75 % of rlus points change by < 0.5 % per day."""
+        a, b = cmip_rlus_checkpoints[0], cmip_rlus_checkpoints[1]
+        r = np.abs(b / a - 1)
+        assert np.mean(r < 0.005) > 0.75
+
+    def test_unknown_variable(self):
+        with pytest.raises(ValueError, match="unknown variable"):
+            CmipSimulation("temperature")
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            CmipSimulation("rlus", nlat=2, nlon=2)
+
+    def test_variables_attribute(self):
+        sim = CmipSimulation("mrro", nlat=12, nlon=24)
+        assert sim.variables == ("mrro",)

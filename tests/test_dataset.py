@@ -1,0 +1,115 @@
+"""Trajectory archive tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations import TrajectoryReader, save_trajectory
+from repro.simulations.cmip import CmipSimulation
+
+
+@pytest.fixture
+def archive(tmp_path, rng):
+    cps = []
+    a, b = rng.uniform(1, 2, 300), rng.uniform(5, 6, (10, 30))
+    for _ in range(4):
+        cps.append({"a": a.copy(), "b": b.copy()})
+        a = a * 1.001
+        b = b * 0.999
+    path = tmp_path / "traj.npz"
+    save_trajectory(path, cps)
+    return path, cps
+
+
+class TestSave:
+    def test_iteration_count_returned(self, archive):
+        path, cps = archive
+        assert TrajectoryReader(path).n_iterations == 4
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no iterations"):
+            save_trajectory(tmp_path / "e.npz", [])
+
+    def test_inconsistent_variables_rejected(self, tmp_path, rng):
+        cps = [{"a": rng.normal(size=5)}, {"b": rng.normal(size=5)}]
+        with pytest.raises(ValueError, match="do not match"):
+            save_trajectory(tmp_path / "x.npz", cps)
+
+    def test_bad_variable_name(self, tmp_path, rng):
+        with pytest.raises(ValueError, match="may not contain"):
+            save_trajectory(tmp_path / "x.npz", [{"a/b": rng.normal(size=5)}])
+
+    def test_compressed_flag(self, tmp_path, rng):
+        cps = [{"a": np.zeros(10_000)}] * 3
+        save_trajectory(tmp_path / "raw.npz", cps)
+        save_trajectory(tmp_path / "zip.npz", cps, compressed=True)
+        assert (tmp_path / "zip.npz").stat().st_size < \
+            (tmp_path / "raw.npz").stat().st_size
+
+
+class TestReader:
+    def test_iteration_access(self, archive):
+        path, cps = archive
+        with TrajectoryReader(path) as reader:
+            for i, cp in enumerate(cps):
+                got = reader.iteration(i)
+                np.testing.assert_array_equal(got["a"], cp["a"])
+                np.testing.assert_array_equal(got["b"], cp["b"])
+
+    def test_variable_iteration_order(self, archive):
+        path, cps = archive
+        reader = TrajectoryReader(path)
+        for i, arr in enumerate(reader.variable("a")):
+            np.testing.assert_array_equal(arr, cps[i]["a"])
+
+    def test_pairs(self, archive):
+        path, cps = archive
+        reader = TrajectoryReader(path)
+        pairs = list(reader.pairs("b"))
+        assert len(pairs) == 3
+        np.testing.assert_array_equal(pairs[0][0], cps[0]["b"])
+        np.testing.assert_array_equal(pairs[-1][1], cps[-1]["b"])
+
+    def test_guards(self, archive):
+        path, _ = archive
+        reader = TrajectoryReader(path)
+        with pytest.raises(IndexError):
+            reader.iteration(4)
+        with pytest.raises(KeyError):
+            list(reader.variable("nope"))
+
+    def test_not_a_trajectory(self, tmp_path, rng):
+        np.savez(tmp_path / "plain.npz", x=rng.normal(size=3))
+        with pytest.raises(ValueError, match="not a trajectory"):
+            TrajectoryReader(tmp_path / "plain.npz")
+
+
+class TestIntegration:
+    def test_archive_compress_workflow(self, tmp_path):
+        """Paper workflow: generate -> archive -> compress from the archive."""
+        from repro.core import NumarckCompressor, NumarckConfig
+
+        sim = CmipSimulation("rlus", nlat=20, nlon=32, seed=6)
+        path = tmp_path / "rlus.npz"
+        save_trajectory(path, sim.run(4))
+
+        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        reader = TrajectoryReader(path)
+        for prev, curr in reader.pairs("rlus"):
+            _, _, stats = comp.roundtrip(prev, curr)
+            assert stats.max_error < 1e-3
+
+    def test_chunk_stream_feeds_streaming_encoder(self, tmp_path, rng):
+        from repro.core import NumarckConfig, StreamingEncoder, decode_stream
+
+        prev = rng.uniform(1, 2, 4000)
+        curr = prev * (1 + rng.normal(0, 0.002, 4000))
+        path = tmp_path / "t.npz"
+        save_trajectory(path, [{"v": prev}, {"v": curr}])
+        reader = TrajectoryReader(path)
+        enc = StreamingEncoder(NumarckConfig(error_bound=1e-3), chunk_size=512)
+        streamed = enc.encode(reader.chunk_stream("v", 0, 512),
+                              reader.chunk_stream("v", 1, 512))
+        out = np.concatenate(list(decode_stream(
+            reader.chunk_stream("v", 0, 512)(), streamed)))
+        rel = np.abs(out / curr - 1)
+        assert rel.max() < 2e-3

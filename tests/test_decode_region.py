@@ -1,0 +1,93 @@
+"""Random-access (partial-region) decode tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FormatError,
+    NumarckConfig,
+    decode_iteration,
+    decode_region,
+    encode_iteration,
+)
+
+
+@pytest.fixture
+def encoded_pair(hard_pair):
+    prev, curr = hard_pair
+    enc = encode_iteration(prev, curr, NumarckConfig(error_bound=1e-3))
+    full = decode_iteration(prev, enc)
+    return prev, enc, full
+
+
+class TestDecodeRegion:
+    def test_any_region_matches_full_decode(self, encoded_pair):
+        prev, enc, full = encoded_pair
+        for start, stop in ((0, 100), (37, 1234), (3999, 4000), (0, 4000)):
+            region = decode_region(prev[start:stop], enc, start, stop)
+            np.testing.assert_array_equal(region, full[start:stop])
+
+    def test_exact_values_in_region(self, encoded_pair):
+        """Regions containing incompressible points must splice the right
+        slice of the dense exact stream."""
+        prev, enc, full = encoded_pair
+        exact_positions = np.flatnonzero(enc.incompressible)
+        assert exact_positions.size > 0, "fixture should have exact points"
+        pos = int(exact_positions[len(exact_positions) // 2])
+        region = decode_region(prev[pos : pos + 1], enc, pos, pos + 1)
+        np.testing.assert_array_equal(region, full[pos : pos + 1])
+
+    def test_empty_region(self, encoded_pair):
+        prev, enc, _ = encoded_pair
+        assert decode_region(prev[5:5], enc, 5, 5).size == 0
+
+    def test_region_of_2d_iteration(self, rng):
+        prev = rng.uniform(1, 2, (20, 30))
+        curr = prev * (1 + rng.normal(0, 0.01, (20, 30)))
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        full = decode_iteration(prev, enc)
+        flat_prev = prev.ravel()
+        region = decode_region(flat_prev[100:250], enc, 100, 250)
+        np.testing.assert_array_equal(region, full.ravel()[100:250])
+
+    def test_block_extraction_use_case(self, rng):
+        """Pull one 16x16 block row out of a compressed 2-D checkpoint."""
+        prev = rng.uniform(1, 2, (32, 32))
+        curr = prev * (1 + rng.normal(0, 0.005, (32, 32)))
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        full = decode_iteration(prev, enc)
+        start, stop = 16 * 32, 17 * 32  # row 16
+        row = decode_region(prev.ravel()[start:stop], enc, start, stop)
+        np.testing.assert_array_equal(row, full[16])
+
+    def test_out_of_range(self, encoded_pair):
+        prev, enc, _ = encoded_pair
+        with pytest.raises(IndexError):
+            decode_region(prev[:10], enc, -1, 9)
+        with pytest.raises(IndexError):
+            decode_region(prev[:10], enc, 0, enc.n_points + 1)
+        with pytest.raises(IndexError):
+            decode_region(prev[:0], enc, 10, 5)
+
+    def test_wrong_reference_size(self, encoded_pair):
+        prev, enc, _ = encoded_pair
+        with pytest.raises(FormatError, match="region has"):
+            decode_region(prev[:5], enc, 0, 10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), data=st.data())
+def test_property_region_equals_full_slice(seed, data):
+    rng = np.random.default_rng(seed)
+    n = 500
+    prev = rng.normal(size=n) * 3
+    prev[rng.random(n) < 0.1] = 0.0
+    curr = prev * (1 + rng.normal(0, 0.05, n))
+    enc = encode_iteration(prev, curr, NumarckConfig(error_bound=1e-3))
+    full = decode_iteration(prev, enc)
+    start = data.draw(st.integers(0, n))
+    stop = data.draw(st.integers(start, n))
+    region = decode_region(prev[start:stop], enc, start, stop)
+    np.testing.assert_array_equal(region, full[start:stop])

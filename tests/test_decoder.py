@@ -1,0 +1,63 @@
+"""Decoder tests: reconstruction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FormatError,
+    NumarckConfig,
+    decode_iteration,
+    encode_iteration,
+)
+
+
+class TestDecode:
+    def test_value_level_guarantee(self, smooth_pair):
+        """decoded = prev * (1 + ratio') with |ratio' - ratio| < E implies
+        |decoded - curr| <= E * |prev| for compressible points."""
+        prev, curr = smooth_pair
+        cfg = NumarckConfig(error_bound=1e-3)
+        enc = encode_iteration(prev, curr, cfg)
+        out = decode_iteration(prev, enc)
+        compressible = ~enc.incompressible
+        bound = cfg.error_bound * np.abs(prev[compressible])
+        assert np.all(np.abs(out[compressible] - curr[compressible]) <= bound + 1e-15)
+
+    def test_incompressible_bit_exact(self, hard_pair):
+        prev, curr = hard_pair
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        out = decode_iteration(prev, enc)
+        np.testing.assert_array_equal(out[enc.incompressible],
+                                      curr[enc.incompressible])
+
+    def test_unchanged_roundtrip_identity(self, rng):
+        prev = rng.uniform(1, 2, 300)
+        enc = encode_iteration(prev, prev, NumarckConfig())
+        np.testing.assert_array_equal(decode_iteration(prev, enc), prev)
+
+    def test_shape_restored(self, rng):
+        prev = rng.uniform(1, 2, (6, 7))
+        curr = prev * 1.01
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        assert decode_iteration(prev, enc).shape == (6, 7)
+
+    def test_wrong_reference_shape_raises(self, rng):
+        prev = rng.uniform(1, 2, 100)
+        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        with pytest.raises(FormatError, match="shape"):
+            decode_iteration(np.zeros(50), enc)
+
+    def test_nan_values_survive_roundtrip(self):
+        prev = np.array([1.0, 1.0, 1.0])
+        curr = np.array([np.nan, np.inf, 1.0001])
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        out = decode_iteration(prev, enc)
+        assert np.isnan(out[0]) and np.isinf(out[1])
+
+    @pytest.mark.parametrize("strategy", ["equal_width", "log_scale", "clustering"])
+    def test_deterministic(self, strategy, smooth_pair):
+        prev, curr = smooth_pair
+        cfg = NumarckConfig(strategy=strategy)
+        a = decode_iteration(prev, encode_iteration(prev, curr, cfg))
+        b = decode_iteration(prev, encode_iteration(prev, curr, cfg))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,220 @@
+"""Quadtree AMR mesh and AMR-aware checkpointing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig
+from repro.simulations.flash.amr import AmrCheckpointer, QuadTreeMesh
+
+
+def _gaussian(cx, cy, width=0.05):
+    def fn(yy, xx):
+        return 1.0 + 5.0 * np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / width**2)
+    return fn
+
+
+class TestGeometry:
+    def test_root_layout(self):
+        mesh = QuadTreeMesh(block_size=8, base=2)
+        assert mesh.n_leaves == 4
+        assert mesh.n_cells == 4 * 64
+
+    def test_extents_tile_domain(self):
+        mesh = QuadTreeMesh(block_size=8, base=2)
+        mesh.refine((0, 0, 0))
+        area = sum(w * h for _, _, w, h in
+                   (mesh.block_extent(k) for k in mesh.leaves))
+        assert area == pytest.approx(1.0)
+
+    def test_cell_centers_inside_extent(self):
+        mesh = QuadTreeMesh(block_size=4, base=1)
+        mesh.refine((0, 0, 0))
+        for key in mesh.leaves:
+            x0, y0, w, h = mesh.block_extent(key)
+            yy, xx = mesh.cell_centers(key)
+            assert xx.min() > x0 and xx.max() < x0 + w
+            assert yy.min() > y0 and yy.max() < y0 + h
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadTreeMesh(block_size=1)
+        with pytest.raises(ValueError):
+            QuadTreeMesh(base=0)
+        with pytest.raises(ValueError):
+            QuadTreeMesh(max_level=-1)
+
+
+class TestRefineCoarsen:
+    def test_refine_replaces_leaf_with_four(self):
+        mesh = QuadTreeMesh(block_size=8, base=2)
+        children = mesh.refine((0, 1, 1))
+        assert len(children) == 4
+        assert (0, 1, 1) not in mesh.leaves
+        assert mesh.n_leaves == 7
+
+    def test_refine_conserves_integral(self, rng):
+        mesh = QuadTreeMesh(block_size=8, base=2)
+        for block in mesh.leaves.values():
+            block.data = rng.normal(size=(8, 8))
+        before = mesh.total_integral()
+        mesh.refine((0, 0, 0))
+        assert mesh.total_integral() == pytest.approx(before, rel=1e-12)
+
+    def test_coarsen_conserves_integral(self, rng):
+        mesh = QuadTreeMesh(block_size=8, base=2)
+        mesh.refine((0, 0, 0))
+        for block in mesh.leaves.values():
+            block.data = rng.normal(size=(8, 8))
+        before = mesh.total_integral()
+        mesh.coarsen((0, 0, 0))
+        assert mesh.total_integral() == pytest.approx(before, rel=1e-12)
+
+    def test_refine_then_coarsen_of_smooth_field_near_identity(self):
+        mesh = QuadTreeMesh(block_size=16, base=1)
+        mesh.sample(lambda yy, xx: np.sin(2 * np.pi * xx))
+        original = mesh.data((0, 0, 0)).copy()
+        mesh.refine((0, 0, 0))
+        mesh.coarsen((0, 0, 0))
+        np.testing.assert_allclose(mesh.data((0, 0, 0)), original, atol=1e-12)
+
+    def test_max_level_enforced(self):
+        mesh = QuadTreeMesh(block_size=4, base=1, max_level=1)
+        mesh.refine((0, 0, 0))
+        with pytest.raises(ValueError, match="max level"):
+            mesh.refine((1, 0, 0))
+
+    def test_guards(self):
+        mesh = QuadTreeMesh(block_size=4, base=2)
+        with pytest.raises(KeyError):
+            mesh.refine((3, 0, 0))
+        with pytest.raises(KeyError):
+            mesh.coarsen((0, 0, 0))  # children are not leaves
+
+
+class TestAdaptation:
+    def test_refines_around_feature(self):
+        mesh = QuadTreeMesh(block_size=16, base=2, max_level=3)
+        mesh.sample(_gaussian(0.3, 0.3))
+        for _ in range(3):
+            mesh.adapt(refine_above=0.5, coarsen_below=0.05)
+            mesh.sample(_gaussian(0.3, 0.3))
+        # The finest leaves must sit near the feature.
+        finest = max(k[0] for k in mesh.leaves)
+        assert finest >= 2
+        for key in mesh.leaves:
+            if key[0] == finest:
+                x0, y0, w, h = mesh.block_extent(key)
+                assert abs(x0 + w / 2 - 0.3) < 0.3
+                assert abs(y0 + h / 2 - 0.3) < 0.3
+
+    def test_coarsens_when_feature_leaves(self):
+        mesh = QuadTreeMesh(block_size=16, base=2, max_level=3)
+        mesh.sample(_gaussian(0.25, 0.25))
+        for _ in range(3):
+            mesh.adapt()
+            mesh.sample(_gaussian(0.25, 0.25))
+        peak_leaves = mesh.n_leaves
+        # Flatten the field: everything should coarsen back over sweeps.
+        for _ in range(6):
+            mesh.sample(lambda yy, xx: np.ones_like(xx))
+            mesh.adapt()
+        assert mesh.n_leaves < peak_leaves
+        assert mesh.n_leaves == mesh.base ** 2
+
+    def test_two_to_one_balance(self):
+        """Edge-adjacent leaves must differ by at most one level."""
+        mesh = QuadTreeMesh(block_size=16, base=2, max_level=4)
+        mesh.sample(_gaussian(0.3, 0.3, width=0.02))
+        for _ in range(4):
+            mesh.adapt(refine_above=0.3)
+            mesh.sample(_gaussian(0.3, 0.3, width=0.02))
+
+        def adjacent(a, b, eps=1e-12):
+            ax, ay, aw, ah = mesh.block_extent(a)
+            bx, by, bw, bh = mesh.block_extent(b)
+            share_x = min(ax + aw, bx + bw) - max(ax, bx)
+            share_y = min(ay + ah, by + bh) - max(ay, by)
+            v_edge = (abs(ax + aw - bx) < eps or abs(bx + bw - ax) < eps) \
+                and share_y > eps
+            h_edge = (abs(ay + ah - by) < eps or abs(by + bh - ay) < eps) \
+                and share_x > eps
+            return v_edge or h_edge
+
+        leaves = list(mesh.leaves)
+        assert max(k[0] for k in leaves) >= 3, "test needs deep refinement"
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1:]:
+                if adjacent(a, b):
+                    assert abs(a[0] - b[0]) <= 1, (a, b)
+
+    def test_threshold_validation(self):
+        mesh = QuadTreeMesh()
+        with pytest.raises(ValueError):
+            mesh.adapt(refine_above=0.1, coarsen_below=0.2)
+
+
+class TestAmrCheckpointer:
+    def _moving_feature_run(self, n_iters=6):
+        mesh = QuadTreeMesh(block_size=16, base=2, max_level=2)
+        ckpt = AmrCheckpointer(NumarckConfig(error_bound=1e-3))
+        snapshots = []
+        for i in range(n_iters):
+            cx = 0.25 + 0.5 * i / max(n_iters - 1, 1)
+            mesh.sample(_gaussian(cx, 0.5))
+            mesh.adapt()
+            mesh.sample(_gaussian(cx, 0.5))
+            snap = mesh.snapshot()
+            snapshots.append(snap)
+            ckpt.record(snap)
+        return ckpt, snapshots
+
+    def test_population_tracked_per_iteration(self):
+        ckpt, snapshots = self._moving_feature_run()
+        assert ckpt.n_iterations == len(snapshots)
+        for i, snap in enumerate(snapshots):
+            rec = ckpt.reconstruct(i)
+            assert set(rec) == set(snap)
+
+    def test_reconstruction_within_bound(self):
+        ckpt, snapshots = self._moving_feature_run()
+        for i, snap in enumerate(snapshots):
+            rec = ckpt.reconstruct(i)
+            for key, truth in snap.items():
+                rel = np.abs(rec[key] - truth) / np.maximum(np.abs(truth), 1e-12)
+                assert rel.max() < 2e-2, (i, key)
+
+    def test_block_lifecycle_counts(self):
+        ckpt, snapshots = self._moving_feature_run()
+        # The feature moves, so blocks must be born and die along the way.
+        stats = [ckpt.record(snapshots[-1])]  # one more record for the API
+        assert ckpt.n_chains >= len(snapshots[0])
+
+    def test_reborn_block_history_preserved(self):
+        """A block that is refined away and later coarsened back must not
+        clobber its earlier lifetime's data."""
+        mesh = QuadTreeMesh(block_size=8, base=1, max_level=1)
+        ckpt = AmrCheckpointer(NumarckConfig())
+        mesh.sample(lambda yy, xx: 1.0 + xx)
+        first = mesh.snapshot()
+        ckpt.record(first)
+        mesh.refine((0, 0, 0))
+        mesh.sample(lambda yy, xx: 2.0 + xx)
+        ckpt.record(mesh.snapshot())
+        mesh.coarsen((0, 0, 0))
+        mesh.sample(lambda yy, xx: 3.0 + xx)
+        ckpt.record(mesh.snapshot())
+        # Iteration 0's root block must decode to its original data.
+        np.testing.assert_array_equal(ckpt.reconstruct(0)[(0, 0, 0)],
+                                      first[(0, 0, 0)])
+        assert ckpt.reconstruct(2)[(0, 0, 0)][0, 0] == pytest.approx(3.0,
+                                                                     abs=0.2)
+
+    def test_guards(self):
+        ckpt = AmrCheckpointer()
+        with pytest.raises(RuntimeError):
+            ckpt.reconstruct()
+        with pytest.raises(ValueError):
+            ckpt.record({})
+        ckpt.record({(0, 0, 0): np.ones((4, 4))})
+        with pytest.raises(IndexError):
+            ckpt.reconstruct(5)

@@ -1,0 +1,93 @@
+"""Octree AMR tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig
+from repro.simulations.flash.amr import AmrCheckpointer
+from repro.simulations.flash.amr3d import OctTreeMesh
+
+
+def _blob(cx, cy, cz, width=0.1):
+    def fn(zz, yy, xx):
+        r2 = (xx - cx) ** 2 + (yy - cy) ** 2 + (zz - cz) ** 2
+        return 1.0 + 4.0 * np.exp(-r2 / width**2)
+    return fn
+
+
+class TestOctree:
+    def test_root_layout(self):
+        mesh = OctTreeMesh(block_size=4, base=2)
+        assert mesh.n_leaves == 8
+        assert mesh.n_cells == 8 * 64
+
+    def test_refine_makes_eight(self):
+        mesh = OctTreeMesh(block_size=4, base=1)
+        children = mesh.refine((0, 0, 0, 0))
+        assert len(children) == 8
+        assert mesh.n_leaves == 8
+
+    def test_extents_tile_unit_cube(self):
+        mesh = OctTreeMesh(block_size=4, base=1)
+        mesh.refine((0, 0, 0, 0))
+        mesh.refine((1, 0, 0, 0))
+        vol = sum(mesh.block_extent(k)[3] ** 3 for k in mesh.leaves)
+        assert vol == pytest.approx(1.0)
+
+    def test_refine_coarsen_conserve_integral(self, rng):
+        mesh = OctTreeMesh(block_size=4, base=1)
+        mesh.leaves[(0, 0, 0, 0)] = rng.normal(size=(4, 4, 4))
+        before = mesh.total_integral()
+        mesh.refine((0, 0, 0, 0))
+        assert mesh.total_integral() == pytest.approx(before, rel=1e-12)
+        mesh.coarsen((0, 0, 0, 0))
+        assert mesh.total_integral() == pytest.approx(before, rel=1e-12)
+
+    def test_adapt_refines_around_blob(self):
+        mesh = OctTreeMesh(block_size=8, base=1, max_level=2)
+        mesh.sample(_blob(0.25, 0.25, 0.25, width=0.08))
+        for _ in range(2):
+            mesh.adapt(refine_above=0.4)
+            mesh.sample(_blob(0.25, 0.25, 0.25, width=0.08))
+        finest = max(k[0] for k in mesh.leaves)
+        assert finest >= 1
+        for key in mesh.leaves:
+            if key[0] == finest:
+                x0, y0, z0, w = mesh.block_extent(key)
+                assert np.hypot(np.hypot(x0 + w / 2 - 0.25, y0 + w / 2 - 0.25),
+                                z0 + w / 2 - 0.25) < 0.6
+
+    def test_adapt_coarsens_flat_field(self):
+        mesh = OctTreeMesh(block_size=4, base=1, max_level=2)
+        mesh.refine((0, 0, 0, 0))
+        mesh.sample(lambda zz, yy, xx: np.ones_like(xx))
+        mesh.adapt()
+        assert mesh.n_leaves == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OctTreeMesh(block_size=3)  # odd
+        with pytest.raises(ValueError):
+            OctTreeMesh(base=0)
+        mesh = OctTreeMesh(block_size=4, base=1, max_level=0)
+        with pytest.raises(ValueError):
+            mesh.refine((0, 0, 0, 0))
+        with pytest.raises(KeyError):
+            mesh.coarsen((0, 0, 0, 0))
+
+    def test_checkpointer_works_in_3d(self):
+        """AmrCheckpointer is dimension-agnostic: octree snapshots work."""
+        mesh = OctTreeMesh(block_size=8, base=1, max_level=2)
+        ckpt = AmrCheckpointer(NumarckConfig(error_bound=1e-3))
+        for i in range(4):
+            c = 0.25 + 0.15 * i
+            mesh.sample(_blob(c, c, c))
+            mesh.adapt(refine_above=0.4)
+            mesh.sample(_blob(c, c, c))
+            ckpt.record(mesh.snapshot())
+        truth = mesh.snapshot()
+        rec = ckpt.reconstruct()
+        assert set(rec) == set(truth)
+        for key in truth:
+            rel = np.abs(rec[key] - truth[key]) / np.abs(truth[key])
+            assert rel.max() < 2e-2

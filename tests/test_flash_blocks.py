@@ -1,0 +1,86 @@
+"""Block-structured mesh tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import BlockGrid
+
+
+class TestLayout:
+    def test_block_count(self):
+        grid = BlockGrid(64, 48, block=16)
+        assert grid.n_blocks == 4 * 3
+        assert grid.nby == 4 and grid.nbx == 3
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            BlockGrid(60, 64, block=16)
+
+    def test_guard_bounds(self):
+        with pytest.raises(ValueError):
+            BlockGrid(32, 32, block=16, guard=17)
+        with pytest.raises(ValueError):
+            BlockGrid(32, 32, block=16, guard=-1)
+
+    def test_paper_dimensions(self):
+        """Paper: 16x16 blocks, 4 guard cells each side -> 24x24 arrays."""
+        grid = BlockGrid(64, 64, block=16, guard=4)
+        assert grid.blocks.shape[1:] == (24, 24)
+        assert grid.interior(0).shape == (16, 16)
+
+    def test_round_robin_ownership(self):
+        grid = BlockGrid(64, 64, block=16, n_ranks=3)
+        counts = np.bincount([grid.owner(b) for b in range(grid.n_blocks)],
+                             minlength=3)
+        assert counts.max() - counts.min() <= 1
+        for rank in range(3):
+            assert all(grid.owner(b) == rank for b in grid.rank_blocks(rank))
+
+    def test_owner_out_of_range(self):
+        grid = BlockGrid(32, 32)
+        with pytest.raises(IndexError):
+            grid.owner(99)
+        with pytest.raises(IndexError):
+            grid.rank_blocks(5)
+
+
+class TestDataMovement:
+    def test_scatter_gather_identity(self, rng):
+        grid = BlockGrid(48, 32, block=16, guard=4)
+        field = rng.normal(size=(48, 32))
+        grid.scatter(field)
+        np.testing.assert_array_equal(grid.gather(), field)
+
+    def test_scatter_wrong_shape(self, rng):
+        grid = BlockGrid(32, 32)
+        with pytest.raises(ValueError):
+            grid.scatter(rng.normal(size=(16, 16)))
+
+    def test_exchange_matches_periodic_neighbourhood(self, rng):
+        """After exchange, each block with guards equals the corresponding
+        window of the periodically padded global field -- including
+        corners (diagonal neighbour data)."""
+        g = 4
+        grid = BlockGrid(48, 48, block=16, guard=g)
+        field = rng.normal(size=(48, 48))
+        grid.scatter(field)
+        grid.exchange()
+        padded = np.pad(field, g, mode="wrap")
+        for by in range(grid.nby):
+            for bx in range(grid.nbx):
+                bid = grid.block_index(by, bx)
+                window = padded[by * 16 : by * 16 + 16 + 2 * g,
+                                bx * 16 : bx * 16 + 16 + 2 * g]
+                np.testing.assert_array_equal(grid.guard_halo(bid), window)
+
+    def test_exchange_noop_without_guards(self, rng):
+        grid = BlockGrid(32, 32, block=16, guard=0)
+        field = rng.normal(size=(32, 32))
+        grid.scatter(field)
+        grid.exchange()
+        np.testing.assert_array_equal(grid.gather(), field)
+
+    def test_interior_is_view(self, rng):
+        grid = BlockGrid(32, 32, block=16, guard=2)
+        grid.interior(0)[:] = 7.0
+        assert grid.gather()[0, 0] == 7.0

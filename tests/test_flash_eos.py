@@ -1,0 +1,55 @@
+"""Gamma-law EOS consistency tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import GammaLawEOS
+
+
+@pytest.fixture
+def eos() -> GammaLawEOS:
+    return GammaLawEOS()
+
+
+class TestConsistency:
+    def test_pressure_eint_inverse(self, eos, rng):
+        dens = rng.uniform(0.1, 10, 200)
+        pres = rng.uniform(0.01, 100, 200)
+        eint = eos.eint_from_pressure(dens, pres)
+        np.testing.assert_allclose(eos.pressure(dens, eint), pres, rtol=1e-10)
+
+    def test_gamma_ranges(self, eos, rng):
+        dens = rng.uniform(0.1, 10, 500)
+        eint = rng.uniform(0.0, 1000, 500)
+        game = eos.game(dens, eint)
+        gamc = eos.gamc(dens, eint)
+        assert np.all(game > 1.0), "gamma must exceed 1 for a physical gas"
+        assert np.all(game <= eos.gamma0)
+        assert np.all(gamc >= game), "gamc includes the stiffening correction"
+        assert np.all(gamc < eos.gamma0 + eos.gamma_drop)
+
+    def test_gamma_decreases_with_temperature(self, eos):
+        cold = eos.game(np.array([1.0]), np.array([0.1]))
+        hot = eos.game(np.array([1.0]), np.array([100.0]))
+        assert hot < cold
+
+    def test_temperature_ideal_gas(self, eos):
+        t = eos.temperature(np.array([2.0]), np.array([6.0]))
+        assert t[0] == pytest.approx(3.0)  # p / (rho R), R = 1
+
+    def test_sound_speed_positive_and_scales(self, eos):
+        dens = np.array([1.0, 1.0])
+        pres = np.array([1.0, 4.0])
+        eint = eos.eint_from_pressure(dens, pres)
+        cs = eos.sound_speed(dens, pres, eint)
+        assert np.all(cs > 0)
+        assert cs[1] > cs[0]
+
+    def test_pressure_nonnegative_for_negative_eint(self, eos):
+        """Floors: unphysical negative eint must not give negative pressure."""
+        p = eos.pressure(np.array([1.0]), np.array([-5.0]))
+        assert p[0] >= 0.0
+
+    def test_zero_density_guarded(self, eos):
+        eint = eos.eint_from_pressure(np.array([0.0]), np.array([1.0]))
+        assert np.isfinite(eint[0])

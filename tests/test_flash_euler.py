@@ -1,0 +1,157 @@
+"""Finite-volume Euler solver tests: conservation, physics, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import Euler2D
+from repro.simulations.flash.problems import kelvin_helmholtz, sedov, sod
+
+
+def _make_solver(problem, ny=32, nx=32, **kw):
+    ic = problem(ny, nx)
+    return Euler2D(ic["dens"], ic["velx"], ic["vely"], ic["velz"], ic["pres"],
+                   dx=1.0 / nx, dy=1.0 / ny, **kw)
+
+
+class TestConservation:
+    def test_mass_conserved_periodic(self):
+        solver = _make_solver(sedov)
+        m0 = solver.total_mass()
+        for _ in range(20):
+            solver.step()
+        assert solver.total_mass() == pytest.approx(m0, rel=1e-12)
+
+    def test_energy_conserved_periodic(self):
+        solver = _make_solver(kelvin_helmholtz)
+        e0 = solver.total_energy()
+        for _ in range(20):
+            solver.step()
+        # Floors can inject tiny energy; conservation must hold to ~1e-10.
+        assert solver.total_energy() == pytest.approx(e0, rel=1e-8)
+
+    def test_momentum_conserved_periodic(self):
+        solver = _make_solver(kelvin_helmholtz)
+        p0 = solver.u[1].sum()
+        for _ in range(10):
+            solver.step()
+        assert solver.u[1].sum() == pytest.approx(p0, abs=1e-10 * abs(p0) + 1e-12)
+
+
+class TestPhysics:
+    def test_uniform_state_is_steady(self):
+        ny = nx = 16
+        ones = np.ones((ny, nx))
+        solver = Euler2D(ones, 0 * ones, 0 * ones, 0 * ones, ones,
+                         dx=1 / nx, dy=1 / ny)
+        before = solver.u.copy()
+        for _ in range(5):
+            solver.step()
+        np.testing.assert_allclose(solver.u, before, atol=1e-13)
+
+    def test_sod_shock_moves_right(self):
+        solver = _make_solver(sod, ny=16, nx=128)
+        for _ in range(40):
+            solver.step()
+        prim = solver.primitives()
+        # Gas accelerates from the high-pressure left into the right half.
+        mid_band = prim["velx"][:, 60:80]
+        assert mid_band.mean() > 0.05
+
+    def test_sedov_blast_expands(self):
+        solver = _make_solver(sedov, ny=48, nx=48)
+        d0 = solver.primitives()["dens"]
+        for _ in range(30):
+            solver.step()
+        d1 = solver.primitives()["dens"]
+        # Central density drops as the blast evacuates the centre.
+        assert d1[24, 24] < d0[24, 24]
+        # A dense shell forms away from the centre.
+        assert d1.max() > d0.max()
+
+    def test_velz_passive_uniform_flow(self):
+        """In uniform flow, velz is advected without distortion: its range
+        cannot grow (first-order upwinding only diffuses it)."""
+        ny = nx = 32
+        ones = np.ones((ny, nx))
+        x = (np.arange(nx) + 0.5) / nx
+        velz = 0.1 * np.sin(2 * np.pi * x)[None, :].repeat(ny, axis=0)
+        solver = Euler2D(ones, 0.5 * ones, 0 * ones, velz, ones,
+                         dx=1 / nx, dy=1 / ny)
+        for _ in range(20):
+            solver.step()
+        w = solver.primitives()["velz"]
+        assert w.max() <= velz.max() + 1e-10
+        assert w.min() >= velz.min() - 1e-10
+
+    def test_positivity_under_strong_blast(self):
+        solver = _make_solver(lambda ny, nx: sedov(ny, nx, blast_pressure=1000.0))
+        for _ in range(50):
+            solver.step()
+        prim = solver.primitives()
+        assert prim["dens"].min() > 0
+        assert prim["pres"].min() > 0
+        assert np.all(np.isfinite(solver.u))
+
+
+class TestAPI:
+    def test_cfl_dt_positive(self):
+        solver = _make_solver(sod)
+        dt = solver.step()
+        assert 0 < dt < 1.0
+
+    def test_explicit_dt_honoured(self):
+        solver = _make_solver(sod)
+        t0 = solver.time
+        solver.step(dt=1e-5)
+        assert solver.time == pytest.approx(t0 + 1e-5)
+
+    def test_primitives_keys(self):
+        prim = _make_solver(sod).primitives()
+        assert set(prim) == {"dens", "velx", "vely", "velz", "eint", "ener",
+                             "pres", "temp", "gamc", "game"}
+
+    def test_ener_is_total_specific_energy(self):
+        prim = _make_solver(kelvin_helmholtz).primitives()
+        kin = 0.5 * (prim["velx"] ** 2 + prim["vely"] ** 2 + prim["velz"] ** 2)
+        np.testing.assert_allclose(prim["ener"], prim["eint"] + kin, rtol=1e-12)
+
+    def test_set_state_roundtrip(self):
+        solver = _make_solver(sedov)
+        for _ in range(5):
+            solver.step()
+        prim = solver.primitives()
+        other = _make_solver(sedov)
+        other.set_state(prim["dens"], prim["velx"], prim["vely"],
+                        prim["velz"], prim["pres"])
+        for key in ("dens", "velx", "vely", "velz"):
+            np.testing.assert_allclose(other.primitives()[key], prim[key],
+                                       rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(other.primitives()["pres"], prim["pres"],
+                                   rtol=1e-8)
+
+    def test_set_state_shape_mismatch(self):
+        solver = _make_solver(sod, ny=16, nx=16)
+        bad = np.ones((8, 8))
+        with pytest.raises(ValueError):
+            solver.set_state(bad, bad, bad, bad, bad)
+
+    def test_bad_bc_rejected(self):
+        ones = np.ones((8, 8))
+        with pytest.raises(ValueError):
+            Euler2D(ones, ones, ones, ones, ones, bc="magic")
+
+    def test_non_2d_rejected(self):
+        ones = np.ones(8)
+        with pytest.raises(ValueError):
+            Euler2D(ones, ones, ones, ones, ones)
+
+    def test_field_shape_mismatch_rejected(self):
+        ones = np.ones((8, 8))
+        with pytest.raises(ValueError, match="velx"):
+            Euler2D(ones, np.ones((4, 4)), ones, ones, ones)
+
+    def test_outflow_bc_runs(self):
+        solver = _make_solver(sedov, bc="outflow")
+        for _ in range(10):
+            solver.step()
+        assert np.all(np.isfinite(solver.u))

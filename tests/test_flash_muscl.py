@@ -1,0 +1,113 @@
+"""MUSCL (second-order) reconstruction tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import Euler2D, GammaLawEOS
+from repro.simulations.flash.problems import sedov
+from repro.simulations.flash.riemann import sod_exact
+
+
+def _sod_run(nx, t_end, reconstruction, flux="hll"):
+    ny = 4
+    x = (np.arange(nx) + 0.5) / nx
+    left = x < 0.5
+    dens = np.where(left, 1.0, 0.125)[None, :].repeat(ny, axis=0)
+    pres = np.where(left, 1.0, 0.1)[None, :].repeat(ny, axis=0)
+    zero = np.zeros((ny, nx))
+    solver = Euler2D(dens, zero.copy(), zero.copy(), zero.copy(), pres,
+                     eos=GammaLawEOS(gamma_drop=0.0),
+                     dx=1.0 / nx, dy=1.0 / ny, bc="outflow", cfl=0.4,
+                     flux=flux, reconstruction=reconstruction)
+    while solver.time < t_end:
+        smax = solver.max_signal_speed()
+        dt = min(0.4 / nx / smax, t_end - solver.time)
+        solver.step(dt=dt)
+    return x, solver.primitives()["dens"][0]
+
+
+def _smooth_advection_error(nx, reconstruction):
+    """L1 error of an advected smooth density wave after a fixed time."""
+    ny = 4
+    x = (np.arange(nx) + 0.5) / nx
+    dens0 = 1.0 + 0.1 * np.sin(2 * np.pi * x)
+    dens = dens0[None, :].repeat(ny, axis=0)
+    ones = np.ones((ny, nx))
+    zero = np.zeros((ny, nx))
+    # Uniform velocity, uniform pressure: pure advection of the density.
+    solver = Euler2D(dens, 1.0 * ones, zero.copy(), zero.copy(), 5.0 * ones,
+                     eos=GammaLawEOS(gamma_drop=0.0),
+                     dx=1.0 / nx, dy=1.0 / ny, bc="periodic", cfl=0.3,
+                     reconstruction=reconstruction)
+    t_end = 0.25  # wave moves a quarter period
+    while solver.time < t_end:
+        smax = solver.max_signal_speed()
+        dt = min(0.3 / nx / smax, t_end - solver.time)
+        solver.step(dt=dt)
+    exact = 1.0 + 0.1 * np.sin(2 * np.pi * (x - t_end))
+    return float(np.mean(np.abs(solver.primitives()["dens"][0] - exact)))
+
+
+class TestMuscl:
+    def test_unknown_reconstruction_rejected(self):
+        ones = np.ones((8, 8))
+        with pytest.raises(ValueError, match="reconstruction"):
+            Euler2D(ones, ones, ones, ones, ones, reconstruction="weno9")
+
+    def test_conservation(self):
+        ic = sedov(24, 24)
+        solver = Euler2D(ic["dens"], ic["velx"], ic["vely"], ic["velz"],
+                         ic["pres"], dx=1 / 24, dy=1 / 24,
+                         reconstruction="muscl", cfl=0.3)
+        m0 = solver.total_mass()
+        for _ in range(15):
+            solver.step()
+        assert solver.total_mass() == pytest.approx(m0, rel=1e-12)
+
+    def test_uniform_state_steady(self):
+        ones = np.ones((8, 8))
+        solver = Euler2D(ones, 0 * ones, 0 * ones, 0 * ones, ones,
+                         dx=1 / 8, dy=1 / 8, reconstruction="muscl")
+        before = solver.u.copy()
+        for _ in range(5):
+            solver.step()
+        np.testing.assert_allclose(solver.u, before, atol=1e-12)
+
+    def test_sharper_sod_than_first_order(self):
+        t_end = 0.15
+        x, d1 = _sod_run(128, t_end, "constant")
+        _, d2 = _sod_run(128, t_end, "muscl")
+        exact = sod_exact(x, t_end)["rho"]
+        err1 = float(np.mean(np.abs(d1 - exact)))
+        err2 = float(np.mean(np.abs(d2 - exact)))
+        assert err2 < 0.8 * err1
+
+    def test_second_order_on_smooth_flow(self):
+        """Refining 2x must cut the smooth-advection error by ~4x (vs ~2x
+        for the first-order scheme)."""
+        e_coarse = _smooth_advection_error(32, "muscl")
+        e_fine = _smooth_advection_error(64, "muscl")
+        order = np.log2(e_coarse / e_fine)
+        assert order > 1.5, f"observed order {order:.2f}"
+
+    def test_first_order_is_first_order(self):
+        e_coarse = _smooth_advection_error(32, "constant")
+        e_fine = _smooth_advection_error(64, "constant")
+        order = np.log2(e_coarse / e_fine)
+        assert 0.6 < order < 1.5, f"observed order {order:.2f}"
+
+    def test_no_new_extrema_at_shock(self):
+        """The minmod limiter must keep Sod density within [0.125, 1]."""
+        x, d = _sod_run(128, 0.15, "muscl")
+        assert d.max() <= 1.0 + 1e-8
+        assert d.min() >= 0.125 - 1e-8
+
+    def test_positivity_under_blast(self):
+        ic = sedov(16, 16, blast_pressure=300.0)
+        solver = Euler2D(ic["dens"], ic["velx"], ic["vely"], ic["velz"],
+                         ic["pres"], dx=1 / 16, dy=1 / 16,
+                         reconstruction="muscl", cfl=0.25)
+        for _ in range(40):
+            solver.step()
+        assert solver.primitives()["dens"].min() > 0
+        assert np.all(np.isfinite(solver.u))

@@ -1,0 +1,108 @@
+"""Exact Riemann solver tests + solver validation against it."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import Euler2D, GammaLawEOS
+from repro.simulations.flash.riemann import RiemannState, exact_riemann, sod_exact
+
+
+class TestExactSolver:
+    def test_canonical_sod_star_values(self):
+        """Textbook Sod values: p* = 0.30313, u* = 0.92745."""
+        sol = sod_exact(np.array([0.5]), t=1e-9)
+        # At xi ~ 0 we are in the star region (u* > 0 means left of contact).
+        assert sol["p"][0] == pytest.approx(0.30313, abs=1e-4)
+        assert sol["u"][0] == pytest.approx(0.92745, abs=1e-4)
+
+    def test_trivial_riemann_problem(self):
+        """Equal states: the solution is the state everywhere."""
+        s = RiemannState(rho=1.0, u=0.3, p=2.0)
+        sol = exact_riemann(s, s, np.linspace(-2, 2, 41))
+        np.testing.assert_allclose(sol["rho"], 1.0)
+        np.testing.assert_allclose(sol["u"], 0.3)
+        np.testing.assert_allclose(sol["p"], 2.0)
+
+    def test_symmetric_collision_stagnates(self):
+        """Two equal streams colliding: u* = 0, double shock, p* > p."""
+        left = RiemannState(rho=1.0, u=1.0, p=1.0)
+        right = RiemannState(rho=1.0, u=-1.0, p=1.0)
+        sol = exact_riemann(left, right, np.array([0.0]))
+        assert sol["u"][0] == pytest.approx(0.0, abs=1e-10)
+        assert sol["p"][0] > 1.0
+
+    def test_symmetric_expansion(self):
+        """Receding streams: u* = 0, double rarefaction, p* < p."""
+        left = RiemannState(rho=1.0, u=-0.5, p=1.0)
+        right = RiemannState(rho=1.0, u=0.5, p=1.0)
+        sol = exact_riemann(left, right, np.array([0.0]))
+        assert sol["u"][0] == pytest.approx(0.0, abs=1e-10)
+        assert sol["p"][0] < 1.0
+
+    def test_vacuum_rejected(self):
+        left = RiemannState(rho=1.0, u=-10.0, p=0.01)
+        right = RiemannState(rho=1.0, u=10.0, p=0.01)
+        with pytest.raises(ValueError, match="vacuum"):
+            exact_riemann(left, right, np.array([0.0]))
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            RiemannState(rho=-1.0, u=0.0, p=1.0)
+        with pytest.raises(ValueError):
+            sod_exact(np.array([0.5]), t=0.0)
+
+    def test_solution_fields_physical(self):
+        sol = sod_exact(np.linspace(0, 1, 500), t=0.2)
+        assert np.all(sol["rho"] > 0)
+        assert np.all(sol["p"] > 0)
+        # Density is monotone non-increasing left to right for Sod.
+        assert np.all(np.diff(sol["rho"]) < 1e-12)
+
+
+def _run_sod_to(nx: int, t_end: float) -> dict[str, np.ndarray]:
+    """Run the FV solver on a 1-D-extruded Sod problem to exactly t_end."""
+    ny = 4
+    x = (np.arange(nx) + 0.5) / nx
+    left = x < 0.5
+    dens = np.where(left, 1.0, 0.125)[None, :].repeat(ny, axis=0)
+    pres = np.where(left, 1.0, 0.1)[None, :].repeat(ny, axis=0)
+    zero = np.zeros((ny, nx))
+    solver = Euler2D(dens, zero.copy(), zero.copy(), zero.copy(), pres,
+                     eos=GammaLawEOS(gamma_drop=0.0),
+                     dx=1.0 / nx, dy=1.0 / ny, bc="outflow", cfl=0.4)
+    while solver.time < t_end:
+        smax = solver.max_signal_speed()
+        dt = min(0.4 * (1.0 / nx) / smax, t_end - solver.time)
+        solver.step(dt=dt)
+    prim = solver.primitives()
+    return {"x": x, "rho": prim["dens"][0], "u": prim["velx"][0],
+            "p": prim["pres"][0]}
+
+
+class TestSolverValidation:
+    def test_converges_to_exact_sod(self):
+        """First-order scheme: L1 error must shrink with resolution and be
+        small in absolute terms at the finer grid."""
+        t_end = 0.15
+        errors = {}
+        for nx in (64, 256):
+            got = _run_sod_to(nx, t_end)
+            exact = sod_exact(got["x"], t_end)
+            errors[nx] = float(np.mean(np.abs(got["rho"] - exact["rho"])))
+        assert errors[256] < 0.6 * errors[64], \
+            f"no convergence: {errors}"
+        assert errors[256] < 0.02
+
+    def test_wave_positions(self):
+        """Shock and contact locations must match the exact solution."""
+        t_end = 0.15
+        got = _run_sod_to(256, t_end)
+        exact = sod_exact(got["x"], t_end)
+        # Locate the shock as the steepest pressure drop.
+        got_shock = got["x"][np.argmin(np.diff(got["p"]))]
+        exact_shock = got["x"][np.argmin(np.diff(exact["p"]))]
+        assert abs(got_shock - exact_shock) < 0.03
+        # Star-region plateau values.
+        star = (got["x"] > 0.55) & (got["x"] < 0.68)
+        assert np.allclose(got["p"][star], 0.30313, atol=0.02)
+        assert np.allclose(got["u"][star], 0.92745, atol=0.05)

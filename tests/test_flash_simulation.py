@@ -1,0 +1,82 @@
+"""FlashSimulation checkpoint interface tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulations.flash import FLASH_VARIABLES, FlashSimulation
+
+
+class TestCheckpoints:
+    def test_all_ten_variables(self, flash_checkpoints):
+        for cp in flash_checkpoints:
+            assert set(cp) == set(FLASH_VARIABLES)
+            for v in FLASH_VARIABLES:
+                assert cp[v].shape == (32, 32)
+                assert cp[v].dtype == np.float64
+
+    def test_fields_evolve(self, flash_checkpoints):
+        a, b = flash_checkpoints[0], flash_checkpoints[-1]
+        assert not np.array_equal(a["dens"], b["dens"])
+        assert not np.array_equal(a["pres"], b["pres"])
+
+    def test_changes_concentrated(self, flash_checkpoints):
+        """The paper's premise on FLASH data: most points change little
+        between consecutive checkpoints."""
+        a, b = flash_checkpoints[2], flash_checkpoints[3]
+        r = np.abs(b["dens"] / a["dens"] - 1)
+        assert np.mean(r < 0.005) > 0.5
+
+    def test_run_yields_n_plus_one(self):
+        sim = FlashSimulation("sod", ny=16, nx=16, steps_per_checkpoint=1)
+        assert len(list(sim.run(3))) == 4
+
+    def test_checkpoints_are_copies(self):
+        sim = FlashSimulation("sod", ny=16, nx=16)
+        cp = sim.checkpoint()
+        cp["dens"][:] = -1
+        assert sim.checkpoint()["dens"].min() > 0
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            FlashSimulation("warp_drive")
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            FlashSimulation("sod", steps_per_checkpoint=0)
+
+    def test_grid_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            FlashSimulation("sod", ny=30, nx=30)
+
+
+class TestRestore:
+    def test_restore_exact_state_continues_identically(self):
+        sim_a = FlashSimulation("sedov", ny=32, nx=32, steps_per_checkpoint=2)
+        sim_a.advance()
+        cp = sim_a.checkpoint()
+
+        sim_b = FlashSimulation("sedov", ny=32, nx=32, steps_per_checkpoint=2)
+        sim_b.restore(cp)
+        sim_a.advance()
+        sim_b.advance()
+        for v in ("dens", "velx", "pres"):
+            np.testing.assert_allclose(sim_b.checkpoint()[v],
+                                       sim_a.checkpoint()[v], rtol=1e-7)
+
+    def test_restore_missing_variable(self):
+        sim = FlashSimulation("sod", ny=16, nx=16)
+        with pytest.raises(KeyError, match="missing"):
+            sim.restore({"dens": np.ones((16, 16))})
+
+
+class TestRankCheckpoint:
+    def test_shapes_and_content(self):
+        sim = FlashSimulation("sod", ny=32, nx=32, block=16, n_ranks=2)
+        rank0 = sim.rank_checkpoint(0)
+        rank1 = sim.rank_checkpoint(1)
+        assert rank0["dens"].shape == (2, 16, 16)
+        assert rank1["dens"].shape == (2, 16, 16)
+        # Together the ranks hold the full field.
+        full = sim.checkpoint()["dens"]
+        got = np.concatenate([rank0["dens"], rank1["dens"]]).sum()
+        assert got == pytest.approx(full.sum())

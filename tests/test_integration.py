@@ -1,0 +1,164 @@
+"""End-to-end integration: simulations -> compression -> files -> restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointChain,
+    NumarckCompressor,
+    NumarckConfig,
+    change_ratios,
+    pearson_r,
+)
+from repro.io import load_chain, save_chain
+from repro.simulations.cmip import CmipSimulation
+from repro.simulations.flash import FlashSimulation
+
+
+class TestFlashEndToEnd:
+    def test_compress_all_ten_variables_within_bound(self, flash_checkpoints):
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+        comp = NumarckCompressor(cfg)
+        prev_cp, curr_cp = flash_checkpoints[3], flash_checkpoints[4]
+        for var, prev in prev_cp.items():
+            curr = curr_cp[var]
+            out, enc, stats = comp.roundtrip(prev, curr)
+            field = change_ratios(prev, curr)
+            got = change_ratios(prev, out)
+            mask = ~(enc.incompressible.reshape(prev.shape) | field.forced_exact)
+            err = np.abs(got.ratios - field.ratios)[mask]
+            assert err.size == 0 or err.max() < cfg.error_bound * (1 + 1e-9), var
+            assert stats.max_error < cfg.error_bound, var
+
+    def test_full_chain_through_disk_restart(self, tmp_path, flash_checkpoints):
+        cfg = NumarckConfig(error_bound=1e-3, strategy="clustering")
+        chain = CheckpointChain(flash_checkpoints[0]["dens"], cfg)
+        for cp in flash_checkpoints[1:]:
+            chain.append(cp["dens"])
+        path = tmp_path / "dens.nmk"
+        save_chain(path, chain)
+        loaded = load_chain(path, cfg)
+        final = loaded.reconstruct()
+        truth = flash_checkpoints[-1]["dens"]
+        assert pearson_r(truth, final) > 0.999
+        # Accumulated error stays within iterations * bound (open loop).
+        rel = np.abs(final / truth - 1)
+        assert rel.max() < len(flash_checkpoints) * cfg.error_bound * 2
+
+    def test_clustering_dominates_on_flash(self, flash_checkpoints):
+        """Paper Fig. 5: clustering has the lowest incompressible ratio."""
+        prev, curr = flash_checkpoints[4]["pres"], flash_checkpoints[5]["pres"]
+        gammas = {}
+        for strat in ("equal_width", "log_scale", "clustering"):
+            cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy=strat)
+            enc = NumarckCompressor(cfg).compress(prev, curr)
+            gammas[strat] = enc.incompressible_ratio
+        assert gammas["clustering"] <= gammas["equal_width"] + 1e-9
+        assert gammas["clustering"] <= gammas["log_scale"] + 1e-9
+
+
+class TestCmipEndToEnd:
+    def test_rlus_order_of_magnitude_reduction(self):
+        """The paper's headline on CMIP data: ~10x with bounded error.
+
+        Run at the paper's real grid size -- Eq. 3's bin-table term
+        ((2^B - 1) * 64 bits) is only negligible for realistic point counts.
+        """
+        cfg = NumarckConfig(error_bound=5e-3, nbits=9, strategy="clustering")
+        comp = NumarckCompressor(cfg)
+        sim = CmipSimulation("rlus", seed=11)  # paper grid 90 x 144
+        prev = sim.checkpoint()["rlus"]
+        sim.advance()
+        curr = sim.checkpoint()["rlus"]
+        _, _, stats = comp.roundtrip(prev, curr)
+        assert stats.ratio_paper > 70.0
+        assert stats.mean_error < cfg.error_bound / 2
+
+    def test_abs550aer_harder_than_rlus(self):
+        """Paper Figs 4/7: the aerosol variable is the most incompressible."""
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+        comp = NumarckCompressor(cfg)
+
+        def gamma(var):
+            sim = CmipSimulation(var, nlat=24, nlon=36, seed=8)
+            a = sim.checkpoint()[var]
+            sim.advance()
+            b = sim.checkpoint()[var]
+            return comp.compress(a, b).incompressible_ratio
+
+        assert gamma("abs550aer") > gamma("rlus")
+
+    def test_mrro_zeros_forced_exact(self):
+        sim = CmipSimulation("mrro", nlat=24, nlon=36, seed=8)
+        a = sim.checkpoint()["mrro"]
+        sim.advance()
+        b = sim.checkpoint()["mrro"]
+        enc = NumarckCompressor(NumarckConfig()).compress(a, b)
+        zero_frac = np.mean(a == 0)
+        assert enc.incompressible_ratio >= zero_frac * 0.99
+
+    def test_higher_precision_reduces_gamma(self, cmip_rlus_checkpoints):
+        """Paper Fig. 6: more index bits -> fewer incompressible points."""
+        prev, curr = cmip_rlus_checkpoints[0], cmip_rlus_checkpoints[1]
+        gammas = []
+        for b in (6, 8, 10):
+            cfg = NumarckConfig(error_bound=1e-3, nbits=b, strategy="equal_width")
+            gammas.append(
+                NumarckCompressor(cfg).compress(prev, curr).incompressible_ratio
+            )
+        assert gammas[0] >= gammas[1] >= gammas[2]
+
+    def test_larger_tolerance_reduces_gamma(self):
+        """Paper Fig. 7: growing E shrinks the incompressible set."""
+        sim = CmipSimulation("abs550aer", nlat=24, nlon=36, seed=8)
+        a = sim.checkpoint()["abs550aer"]
+        sim.advance()
+        b = sim.checkpoint()["abs550aer"]
+        gammas = []
+        for e in (1e-3, 3e-3, 5e-3):
+            cfg = NumarckConfig(error_bound=e, nbits=8, strategy="clustering")
+            gammas.append(
+                NumarckCompressor(cfg).compress(a, b).incompressible_ratio
+            )
+        assert gammas[0] >= gammas[1] >= gammas[2]
+
+
+class TestCrossSystem:
+    def test_numarck_beats_bspline_accuracy_at_better_ratio(self,
+                                                            cmip_rlus_checkpoints):
+        """Table I/II shape: NUMARCK compresses more than B-Splines' 20 %
+        while reconstructing far more accurately."""
+        from repro.baselines import BSplineCompressor
+        from repro.core import rmse
+
+        prev, curr = cmip_rlus_checkpoints[2], cmip_rlus_checkpoints[3]
+        cfg = NumarckConfig(error_bound=5e-3, nbits=9, strategy="clustering")
+        out, _, stats = NumarckCompressor(cfg).roundtrip(prev, curr)
+
+        bs = BSplineCompressor(0.8)
+        bs_out = bs.decompress(bs.compress(curr)).reshape(curr.shape)
+
+        assert stats.ratio_paper > 20.0
+        assert rmse(curr, out) < rmse(curr, bs_out)
+
+    def test_spmd_change_ratio_pipeline(self, cmip_rlus_checkpoints):
+        """Distributed encode: ranks compute change ratios on shards and the
+        fitted model on gathered candidates matches the serial one."""
+        from repro.kmeans import histogram_init, parallel_kmeans1d
+        from repro.parallel import block_partition, run_spmd
+
+        prev, curr = cmip_rlus_checkpoints[0], cmip_rlus_checkpoints[1]
+        ratios = change_ratios(prev, curr).ratios.ravel()
+        init = histogram_init(ratios, 16)
+
+        def worker(comm, shards, init):
+            res = parallel_kmeans1d(comm, shards[comm.rank], init)
+            return res.centroids
+
+        shards = block_partition(ratios, 2)
+        results = run_spmd(worker, 2, shards, init)
+        from repro.kmeans import kmeans1d
+
+        ref = kmeans1d(ratios, init)
+        for cent in results:
+            np.testing.assert_allclose(cent, ref.centroids, rtol=1e-12)

@@ -1,0 +1,222 @@
+"""Serialization: payload codecs and the framed container."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CheckpointChain,
+    FormatError,
+    NumarckConfig,
+    decode_iteration,
+    encode_iteration,
+)
+from repro.io import (
+    CheckpointFile,
+    decode_delta_bytes,
+    decode_full_bytes,
+    encode_delta_bytes,
+    encode_full_bytes,
+    load_chain,
+    save_chain,
+)
+
+
+def _assert_encoded_equal(a, b):
+    assert a.shape == b.shape
+    assert a.nbits == b.nbits
+    assert a.strategy == b.strategy
+    assert a.zero_reserved == b.zero_reserved
+    assert a.error_bound == b.error_bound
+    np.testing.assert_array_equal(a.representatives, b.representatives)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.incompressible, b.incompressible)
+    np.testing.assert_array_equal(a.exact_values, b.exact_values)
+
+
+class TestFullPayload:
+    def test_roundtrip_shapes(self, rng):
+        for shape in [(10,), (4, 5), (2, 3, 4)]:
+            arr = rng.normal(size=shape)
+            out = decode_full_bytes(encode_full_bytes(arr))
+            np.testing.assert_array_equal(out, arr)
+            assert out.shape == shape
+
+    def test_nan_inf_preserved(self):
+        arr = np.array([np.nan, np.inf, -np.inf, 0.0])
+        out = decode_full_bytes(encode_full_bytes(arr))
+        assert np.isnan(out[0]) and np.isposinf(out[1]) and np.isneginf(out[2])
+
+    def test_truncated_raises(self, rng):
+        payload = encode_full_bytes(rng.normal(size=10))
+        with pytest.raises(FormatError):
+            decode_full_bytes(payload[:-8])
+
+
+class TestDeltaPayload:
+    @pytest.mark.parametrize("strategy", ["equal_width", "log_scale", "clustering"])
+    def test_roundtrip(self, strategy, hard_pair):
+        prev, curr = hard_pair
+        enc = encode_iteration(prev, curr, NumarckConfig(strategy=strategy))
+        out = decode_delta_bytes(encode_delta_bytes(enc))
+        _assert_encoded_equal(enc, out)
+
+    def test_decoded_delta_decodes_identically(self, smooth_pair):
+        prev, curr = smooth_pair
+        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc2 = decode_delta_bytes(encode_delta_bytes(enc))
+        np.testing.assert_array_equal(
+            decode_iteration(prev, enc), decode_iteration(prev, enc2)
+        )
+
+    def test_roundtrip_2d_and_nbits(self, rng):
+        prev = rng.uniform(1, 2, (8, 16))
+        curr = prev * (1 + rng.normal(0, 0.01, (8, 16)))
+        for b in (3, 9, 12):
+            enc = encode_iteration(prev, curr, NumarckConfig(nbits=b))
+            _assert_encoded_equal(enc, decode_delta_bytes(encode_delta_bytes(enc)))
+
+    def test_unreserved_flag_roundtrips(self, rng):
+        prev = rng.uniform(1, 2, 100)
+        enc = encode_iteration(prev, prev * 1.01,
+                               NumarckConfig(reserve_zero_bin=False))
+        assert not decode_delta_bytes(encode_delta_bytes(enc)).zero_reserved
+
+    def test_bitmap_population_mismatch_detected(self):
+        """A bitmap inconsistent with the exact-value count must be rejected."""
+        prev = np.array([0.0, 1.0, 1.0, 1.0])  # one incompressible point
+        enc = encode_iteration(prev, np.array([2.0, 1.0, 1.0, 1.0]),
+                               NumarckConfig())
+        assert enc.n_incompressible == 1
+        # Rebuild the payload with a second incompressible bit but the same
+        # single exact value.
+        import dataclasses
+
+        bad_mask = enc.incompressible.copy()
+        bad_mask[1] = True
+        bad = dataclasses.replace(enc, incompressible=bad_mask)
+        with pytest.raises(FormatError, match="population"):
+            decode_delta_bytes(encode_delta_bytes(bad))
+
+    def test_out_of_range_index_detected(self, rng):
+        prev = rng.uniform(1, 2, 64)
+        enc = encode_iteration(prev, prev * 1.05, NumarckConfig(nbits=8))
+        assert enc.representatives.size >= 1
+        import dataclasses
+
+        bad_idx = enc.indices.copy()
+        bad_idx[0] = enc.representatives.size + 5
+        bad = dataclasses.replace(enc, indices=bad_idx)
+        with pytest.raises(FormatError, match="exceeds"):
+            decode_delta_bytes(encode_delta_bytes(bad))
+
+
+class TestContainer:
+    def test_save_load_chain(self, tmp_path, rng):
+        data = [rng.uniform(1, 2, 2000)]
+        for _ in range(4):
+            data.append(data[-1] * (1 + rng.normal(0, 0.003, 2000)))
+        chain = CheckpointChain(data[0], NumarckConfig())
+        chain.extend(data[1:])
+        path = tmp_path / "c.nmk"
+        nbytes = save_chain(path, chain)
+        assert nbytes == path.stat().st_size
+        loaded = load_chain(path)
+        for i in range(5):
+            np.testing.assert_array_equal(chain.reconstruct(i),
+                                          loaded.reconstruct(i))
+
+    def test_loaded_chain_appendable(self, tmp_path, rng):
+        d0 = rng.uniform(1, 2, 500)
+        d1 = d0 * 1.002
+        chain = CheckpointChain(d0, NumarckConfig())
+        chain.append(d1)
+        path = tmp_path / "c.nmk"
+        save_chain(path, chain)
+        loaded = load_chain(path, NumarckConfig())
+        d2 = d1 * 1.002
+        loaded.append(d2)
+        rel = np.abs(loaded.reconstruct(2) / d2 - 1)
+        assert rel.max() < 5e-3
+
+    def test_compressed_smaller_than_raw(self, tmp_path, rng):
+        data = [rng.uniform(1, 2, 20_000)]
+        for _ in range(5):
+            data.append(data[-1] * (1 + rng.normal(0, 0.002, 20_000)))
+        chain = CheckpointChain(data[0], NumarckConfig(nbits=8))
+        chain.extend(data[1:])
+        nbytes = save_chain(tmp_path / "c.nmk", chain)
+        raw = 6 * 20_000 * 8
+        assert nbytes < 0.35 * raw, "6 iterations must compress well below raw"
+
+    def test_magic_check(self, tmp_path):
+        p = tmp_path / "bad.nmk"
+        p.write_bytes(b"JUNKJUNKJUNK")
+        with pytest.raises(FormatError, match="not a NUMARCK"):
+            CheckpointFile.open(p)
+
+    def test_version_check(self, tmp_path):
+        p = tmp_path / "v.nmk"
+        p.write_bytes(b"NMRK" + struct.pack("<H", 99))
+        with pytest.raises(FormatError, match="version"):
+            CheckpointFile.open(p)
+
+    def test_crc_detects_corruption(self, tmp_path, rng):
+        d0 = rng.uniform(1, 2, 1000)
+        chain = CheckpointChain(d0, NumarckConfig())
+        chain.append(d0 * 1.001)
+        path = tmp_path / "c.nmk"
+        save_chain(path, chain)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01  # single bit flip mid-file
+        path.write_bytes(bytes(blob))
+        with pytest.raises(FormatError):
+            load_chain(path)
+
+    def test_truncation_detected(self, tmp_path, rng):
+        d0 = rng.uniform(1, 2, 1000)
+        chain = CheckpointChain(d0, NumarckConfig())
+        chain.append(d0 * 1.001)
+        path = tmp_path / "c.nmk"
+        save_chain(path, chain)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 10])
+        with pytest.raises(FormatError, match="truncated|CRC|exceeds"):
+            load_chain(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "e.nmk"
+        CheckpointFile.create(p).close()
+        with pytest.raises(FormatError, match="no FULL"):
+            load_chain(p)
+
+    def test_delta_before_full_rejected(self, tmp_path, rng):
+        prev = rng.uniform(1, 2, 50)
+        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        with CheckpointFile.create(tmp_path / "d.nmk") as f:
+            f.write_delta(enc)
+        with pytest.raises(FormatError, match="before FULL"):
+            load_chain(tmp_path / "d.nmk")
+
+    def test_write_on_read_handle_rejected(self, tmp_path, rng):
+        p = tmp_path / "c.nmk"
+        with CheckpointFile.create(p) as f:
+            f.write_full(rng.normal(size=10))
+        with CheckpointFile.open(p) as f:
+            with pytest.raises(FormatError):
+                f.write_full(rng.normal(size=10))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), nbits=st.integers(2, 12))
+def test_property_delta_roundtrip(seed, nbits):
+    rng = np.random.default_rng(seed)
+    prev = rng.normal(size=150)
+    prev[rng.random(150) < 0.1] = 0.0
+    curr = prev * (1 + rng.normal(0, 0.05, 150))
+    enc = encode_iteration(prev, curr, NumarckConfig(nbits=nbits))
+    out = decode_delta_bytes(encode_delta_bytes(enc))
+    _assert_encoded_equal(enc, out)

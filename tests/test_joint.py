@@ -1,0 +1,125 @@
+"""Joint multi-variable encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FormatError,
+    NumarckConfig,
+    decode_joint,
+    encode_iteration,
+    encode_joint,
+)
+
+
+@pytest.fixture
+def correlated_pair(rng):
+    """Two variables sharing (almost) the same relative changes."""
+    n = 6000
+    a = rng.uniform(1, 2, n)
+    b = rng.uniform(100, 200, n)
+    r = rng.normal(0, 0.003, n)
+    prev = {"a": a, "b": b}
+    curr = {"a": a * (1 + r),
+            "b": b * (1 + r + rng.normal(0, 1e-4, n))}
+    return prev, curr
+
+
+class TestGuarantee:
+    def test_per_variable_bound(self, correlated_pair):
+        prev, curr = correlated_pair
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        enc = encode_joint(prev, curr, cfg)
+        out = decode_joint(prev, enc)
+        for v in ("a", "b"):
+            err = np.abs((out[v] - prev[v]) / prev[v]
+                         - (curr[v] - prev[v]) / prev[v])
+            err[enc.incompressible[v]] = 0
+            assert err.max() < 1e-3
+
+    def test_exact_values_bit_exact(self, rng):
+        prev = {"a": np.zeros(50), "b": rng.uniform(1, 2, 50)}
+        curr = {"a": rng.normal(size=50), "b": prev["b"] * 1.3}
+        enc = encode_joint(prev, curr, NumarckConfig(error_bound=1e-4,
+                                                     nbits=2))
+        out = decode_joint(prev, enc)
+        np.testing.assert_array_equal(out["a"], curr["a"])
+
+    def test_uncorrelated_variables_still_bounded(self, rng):
+        n = 4000
+        prev = {"x": rng.uniform(1, 2, n), "y": rng.uniform(1, 2, n)}
+        curr = {"x": prev["x"] * (1 + rng.normal(0, 0.004, n)),
+                "y": prev["y"] * (1 + rng.normal(0, 0.004, n))}
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        enc = encode_joint(prev, curr, cfg)
+        out = decode_joint(prev, enc)
+        for v in ("x", "y"):
+            err = np.abs((out[v] - prev[v]) / prev[v]
+                         - (curr[v] - prev[v]) / prev[v])
+            err[enc.incompressible[v]] = 0
+            assert err.max() < 1e-3
+
+
+class TestLayout:
+    def test_shared_index_stream(self, correlated_pair):
+        prev, curr = correlated_pair
+        enc = encode_joint(prev, curr, NumarckConfig(nbits=8))
+        assert enc.indices.max() < 256
+        assert enc.representatives.shape[1] == 2
+        assert enc.variables == ("a", "b")
+
+    def test_all_unchanged(self, rng):
+        prev = {"a": rng.uniform(1, 2, 100)}
+        enc = encode_joint(prev, {"a": prev["a"].copy()}, NumarckConfig())
+        assert np.all(enc.indices == 0)
+        assert enc.representatives.size == 0
+        out = decode_joint(prev, enc)
+        np.testing.assert_array_equal(out["a"], prev["a"])
+
+    def test_shape_preserved(self, rng):
+        prev = {"a": rng.uniform(1, 2, (10, 12))}
+        curr = {"a": prev["a"] * 1.01}
+        enc = encode_joint(prev, curr, NumarckConfig())
+        out = decode_joint(prev, enc)
+        assert out["a"].shape == (10, 12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            encode_joint({}, {}, NumarckConfig())
+        with pytest.raises(KeyError):
+            encode_joint({"a": rng.normal(size=5)},
+                         {"a": rng.normal(size=5), "b": rng.normal(size=5)},
+                         NumarckConfig())
+        with pytest.raises(FormatError):
+            encode_joint({"a": rng.normal(size=5), "b": rng.normal(size=6)},
+                         {"a": rng.normal(size=5), "b": rng.normal(size=6)},
+                         NumarckConfig())
+
+    def test_decode_reference_shape_checked(self, correlated_pair, rng):
+        prev, curr = correlated_pair
+        enc = encode_joint(prev, curr, NumarckConfig())
+        bad = dict(prev)
+        bad["a"] = rng.normal(size=7)
+        with pytest.raises(FormatError):
+            decode_joint(bad, enc)
+
+
+class TestSavings:
+    def test_correlated_variables_beat_separate(self, correlated_pair):
+        """The point of joint coding: one index stream for two variables."""
+        prev, curr = correlated_pair
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        joint = encode_joint(prev, curr, cfg)
+        n = prev["a"].size
+        separate_bits = 0
+        for v in ("a", "b"):
+            enc = encode_iteration(prev[v], curr[v], cfg)
+            separate_bits += (n * 8 + n + enc.exact_values.size * 64
+                              + 255 * 64)
+        assert joint.stored_bits() < 0.8 * separate_bits
+
+    def test_gamma_small_on_correlated_data(self, correlated_pair):
+        prev, curr = correlated_pair
+        enc = encode_joint(prev, curr, NumarckConfig(error_bound=1e-3))
+        assert enc.incompressible_ratio("a") < 0.05
+        assert enc.incompressible_ratio("b") < 0.05

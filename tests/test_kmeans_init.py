@@ -1,0 +1,92 @@
+"""Tests for centroid initialisation schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kmeans import histogram_init, kmeanspp_init, random_init
+
+ALL_INITS = [histogram_init, kmeanspp_init, random_init]
+
+
+@pytest.mark.parametrize("init", ALL_INITS)
+class TestCommonProperties:
+    def test_count_and_sorted(self, init, rng):
+        data = rng.normal(size=500)
+        cent = init(data, 16)
+        assert cent.shape == (16,)
+        assert np.all(np.diff(cent) > 0), "centroids must be distinct and sorted"
+
+    def test_k_one(self, init, rng):
+        cent = init(rng.normal(size=50), 1)
+        assert cent.shape == (1,)
+
+    def test_empty_raises(self, init):
+        with pytest.raises(ValueError):
+            init(np.array([]), 3)
+
+    def test_bad_k_raises(self, init, rng):
+        with pytest.raises(ValueError):
+            init(rng.normal(size=10), 0)
+
+    def test_constant_data_padded(self, init):
+        cent = init(np.full(20, 7.0), 5)
+        assert cent.shape == (5,)
+        assert np.all(np.diff(cent) > 0)
+
+    def test_fewer_points_than_k(self, init):
+        cent = init(np.array([1.0, 2.0]), 6)
+        assert cent.shape == (6,)
+        assert np.all(np.diff(cent) > 0)
+
+
+class TestHistogramInit:
+    def test_centroids_land_in_dense_regions(self, rng):
+        data = np.concatenate([
+            rng.normal(-5, 0.05, 1000),
+            rng.normal(5, 0.05, 1000),
+            rng.uniform(-6, 6, 20),  # sparse background
+        ])
+        cent = histogram_init(data, 2)
+        assert np.min(np.abs(cent - (-5))) < 0.5
+        assert np.min(np.abs(cent - 5)) < 0.5
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=300)
+        np.testing.assert_array_equal(histogram_init(data, 7),
+                                      histogram_init(data, 7))
+
+
+class TestKMeansPP:
+    def test_seeded_reproducible(self, rng):
+        data = rng.normal(size=300)
+        a = kmeanspp_init(data, 5, rng=np.random.default_rng(3))
+        b = kmeanspp_init(data, 5, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_spreads_over_clusters(self, rng):
+        data = np.concatenate([rng.normal(c, 0.01, 100) for c in (-10, 0, 10)])
+        cent = kmeanspp_init(data, 3, rng=np.random.default_rng(0))
+        for c in (-10, 0, 10):
+            assert np.min(np.abs(cent - c)) < 1.0
+
+
+class TestRandomInit:
+    def test_centroids_are_data_points_when_distinct(self, rng):
+        data = rng.normal(size=100)
+        cent = random_init(data, 5, rng=np.random.default_rng(1))
+        for c in cent:
+            assert np.min(np.abs(data - c)) < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), k=st.integers(1, 20), n=st.integers(1, 200))
+def test_property_always_k_distinct_sorted(seed, k, n):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=n)
+    for init in ALL_INITS:
+        cent = init(data, k)
+        assert cent.shape == (k,)
+        assert np.all(np.diff(cent) > 0)
+        assert np.all(np.isfinite(cent))

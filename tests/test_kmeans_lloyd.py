@@ -1,0 +1,127 @@
+"""Tests for the from-scratch Lloyd implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kmeans import assign1d, histogram_init, kmeans, kmeans1d
+
+
+class TestAssign1d:
+    def test_single_centroid(self):
+        labels = assign1d(np.array([1.0, 5.0, -2.0]), np.array([0.0]))
+        np.testing.assert_array_equal(labels, [0, 0, 0])
+
+    def test_nearest_assignment(self):
+        cent = np.array([0.0, 10.0])
+        labels = assign1d(np.array([1.0, 9.0, 4.9, 5.1]), cent)
+        np.testing.assert_array_equal(labels, [0, 1, 0, 1])
+
+    def test_tie_goes_to_lower_centroid(self):
+        labels = assign1d(np.array([5.0]), np.array([0.0, 10.0]))
+        assert labels[0] == 0
+
+    def test_empty_centroids_raise(self):
+        with pytest.raises(ValueError):
+            assign1d(np.array([1.0]), np.array([]))
+
+    def test_matches_brute_force(self, rng):
+        data = rng.normal(size=500)
+        cent = np.sort(rng.normal(size=16))
+        fast = assign1d(data, cent)
+        brute = np.argmin(np.abs(data[:, None] - cent[None, :]), axis=1)
+        # Ties may differ; distances must agree.
+        np.testing.assert_allclose(
+            np.abs(data - cent[fast]), np.abs(data - cent[brute])
+        )
+
+
+class TestKMeans1D:
+    def test_separated_clusters_found(self, rng):
+        data = np.concatenate([
+            rng.normal(-10, 0.1, 200),
+            rng.normal(0, 0.1, 200),
+            rng.normal(10, 0.1, 200),
+        ])
+        res = kmeans1d(data, np.array([-5.0, 1.0, 5.0]))
+        np.testing.assert_allclose(np.sort(res.centroids), [-10, 0, 10], atol=0.15)
+        assert res.converged
+
+    def test_labels_in_range(self, rng):
+        data = rng.normal(size=300)
+        res = kmeans1d(data, histogram_init(data, 8))
+        assert res.labels.min() >= 0
+        assert res.labels.max() < 8
+
+    def test_inertia_not_worse_than_init(self, rng):
+        data = rng.normal(size=400)
+        init = histogram_init(data, 10)
+        init_inertia = float(np.sum((data - init[assign1d(data, init)]) ** 2))
+        res = kmeans1d(data, init)
+        assert res.inertia <= init_inertia + 1e-9
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            kmeans1d(np.array([]), np.array([0.0]))
+
+    def test_constant_data(self):
+        res = kmeans1d(np.full(50, 3.0), np.array([0.0, 1.0]))
+        assert np.any(np.isclose(res.centroids, 3.0))
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_k_equals_n(self):
+        data = np.array([1.0, 2.0, 3.0])
+        res = kmeans1d(data, data.copy())
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_centroids_sorted(self, rng):
+        data = rng.normal(size=200)
+        res = kmeans1d(data, rng.normal(size=7))
+        assert np.all(np.diff(res.centroids) >= 0)
+
+    def test_max_iter_respected(self, rng):
+        data = rng.normal(size=200)
+        res = kmeans1d(data, histogram_init(data, 5), max_iter=1)
+        assert res.n_iter == 1
+
+
+class TestKMeansND:
+    def test_2d_clusters(self, rng):
+        a = rng.normal([0, 0], 0.1, (100, 2))
+        b = rng.normal([5, 5], 0.1, (100, 2))
+        res = kmeans(np.vstack([a, b]), np.array([[1.0, 1.0], [4.0, 4.0]]))
+        got = res.centroids[np.argsort(res.centroids[:, 0])]
+        np.testing.assert_allclose(got, [[0, 0], [5, 5]], atol=0.2)
+
+    def test_1d_input_promoted(self, rng):
+        data = rng.normal(size=100)
+        res = kmeans(data, np.array([-1.0, 1.0]))
+        assert res.centroids.shape == (2, 1)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            kmeans(np.zeros((10, 3)), np.zeros((2, 2)))
+
+    def test_agrees_with_1d_on_scalar_data(self, rng):
+        data = rng.normal(size=300)
+        init = histogram_init(data, 6)
+        r1 = kmeans1d(data, init, max_iter=50)
+        rn = kmeans(data, init, max_iter=50)
+        assert rn.inertia == pytest.approx(r1.inertia, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    k=st.integers(1, 12),
+    n=st.integers(12, 300),
+)
+def test_property_inertia_and_labels(seed, k, n):
+    """Inertia equals the label-implied SSE and labels stay in range."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=n) * rng.uniform(0.1, 10)
+    res = kmeans1d(data, histogram_init(data, k))
+    assert 0 <= res.labels.min() and res.labels.max() < res.centroids.size
+    sse = float(np.sum((data - res.centroids[res.labels]) ** 2))
+    assert res.inertia == pytest.approx(sse, rel=1e-9, abs=1e-12)

@@ -1,0 +1,131 @@
+"""Metric formula tests (paper Section III-B, Eqs. 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig, encode_iteration, pearson_r, rmse
+from repro.core.metrics import (
+    compression_ratio_actual,
+    compression_ratio_paper,
+    error_rates,
+    iteration_stats,
+)
+
+
+class TestErrorRates:
+    def test_basic(self):
+        mean_e, max_e = error_rates(np.array([0.1, 0.2]), np.array([0.1, 0.25]))
+        assert mean_e == pytest.approx(0.025)
+        assert max_e == pytest.approx(0.05)
+
+    def test_exact_mask_zeroes_error(self):
+        mean_e, max_e = error_rates(
+            np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+            exact_mask=np.array([False, True]),
+        )
+        assert mean_e == 0.0 and max_e == 0.0
+
+    def test_empty(self):
+        assert error_rates(np.array([]), np.array([])) == (0.0, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_rates(np.zeros(2), np.zeros(3))
+
+
+class TestCompressionRatioPaper:
+    def test_zero_gamma_large_n(self):
+        """gamma=0, B=9, huge N: R -> 1 - 9/64 ~ 85.94 %."""
+        r = compression_ratio_paper(10**9, 0, 9)
+        assert r == pytest.approx(100 * (1 - 9 / 64), abs=0.01)
+
+    def test_all_incompressible_negative(self):
+        """gamma=1 costs the full data plus the table: R < 0."""
+        assert compression_ratio_paper(1000, 1000, 8) < 0
+
+    def test_monotone_in_gamma(self):
+        rs = [compression_ratio_paper(10_000, g, 8) for g in (0, 100, 500, 900)]
+        assert all(a > b for a, b in zip(rs, rs[1:]))
+
+    def test_monotone_in_nbits_for_zero_gamma(self):
+        # Fewer index bits -> higher ratio (table shrinks too).
+        assert compression_ratio_paper(10**6, 0, 8) > compression_ratio_paper(10**6, 0, 10)
+
+    def test_explicit_value(self):
+        # N=1000, gamma=0.1, B=8: compressed = 0.9*1000*8 + 0.1*1000*64 + 255*64
+        n, inc, b = 1000, 100, 8
+        compressed = 0.9 * n * 8 + 0.1 * n * 64 + 255 * 64
+        expected = 100 * (n * 64 - compressed) / (n * 64)
+        assert compression_ratio_paper(n, inc, b) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_ratio_paper(0, 0, 8)
+        with pytest.raises(ValueError):
+            compression_ratio_paper(10, 11, 8)
+
+
+class TestCompressionRatioActual:
+    def test_charges_bitmap(self):
+        paper = compression_ratio_paper(10**6, 0, 8, n_bins=255)
+        actual = compression_ratio_actual(10**6, 0, 8, 255)
+        # Bitmap costs 1 bit/point = 1/64 of the original size.
+        assert paper - actual == pytest.approx(100 / 64, abs=0.01)
+
+    def test_header_charged(self):
+        a = compression_ratio_actual(1000, 0, 8, 10, header_bytes=0)
+        b = compression_ratio_actual(1000, 0, 8, 10, header_bytes=100)
+        assert a > b
+
+
+class TestPearsonAndRmse:
+    def test_perfect_correlation(self, rng):
+        x = rng.normal(size=100)
+        assert pearson_r(x, x) == 1.0
+        assert pearson_r(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_anticorrelation(self, rng):
+        x = rng.normal(size=100)
+        assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_identical_is_one(self):
+        x = np.full(10, 5.0)
+        assert pearson_r(x, x.copy()) == 1.0
+
+    def test_constant_vs_varying_is_zero(self, rng):
+        assert pearson_r(np.full(50, 1.0), rng.normal(size=50)) == 0.0
+
+    def test_rmse_formula(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == \
+            pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_zero_for_identical(self, rng):
+        x = rng.normal(size=40)
+        assert rmse(x, x) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestIterationStats:
+    def test_consistency_with_encoding(self, smooth_pair):
+        prev, curr = smooth_pair
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        enc = encode_iteration(prev, curr, cfg)
+        stats = iteration_stats(prev, curr, enc)
+        assert stats.n_points == prev.size
+        assert stats.n_incompressible == enc.n_incompressible
+        assert stats.max_error < cfg.error_bound
+        assert stats.mean_error <= stats.max_error
+        assert stats.ratio_paper > stats.ratio_actual
+        assert stats.incompressible_ratio == enc.incompressible_ratio
+
+    def test_mean_error_well_below_bound(self, smooth_pair):
+        """The paper reports mean error ~an order below the bound."""
+        prev, curr = smooth_pair
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
+        stats = iteration_stats(prev, curr, encode_iteration(prev, curr, cfg))
+        assert stats.mean_error < cfg.error_bound / 2

@@ -1,0 +1,100 @@
+"""Communicator protocol and SPMD harness tests."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm, run_spmd, tree_allreduce
+
+
+class TestSerialComm:
+    def test_identity_collectives(self):
+        comm = SerialComm()
+        assert comm.rank == 0 and comm.size == 1
+        assert comm.bcast(42) == 42
+        assert comm.allreduce(7) == 7
+        assert comm.reduce(7) == 7
+        assert comm.gather("x") == ["x"]
+        assert comm.allgather("x") == ["x"]
+        assert comm.scatter(["only"]) == "only"
+        comm.barrier()  # no-op, must not hang
+
+    def test_point_to_point_guarded(self):
+        comm = SerialComm()
+        with pytest.raises(RuntimeError):
+            comm.send(1, 0)
+        with pytest.raises(RuntimeError):
+            comm.recv(0)
+
+    def test_scatter_wrong_length(self):
+        with pytest.raises(ValueError):
+            SerialComm().scatter([1, 2])
+
+    def test_tree_allreduce_serial(self):
+        assert tree_allreduce(SerialComm(), 5) == 5
+
+
+def _collectives_worker(comm, payload):
+    out = {}
+    out["bcast"] = comm.bcast(payload if comm.rank == 0 else None)
+    out["gather"] = comm.gather(comm.rank)
+    out["allgather"] = comm.allgather(comm.rank * 2)
+    out["scatter"] = comm.scatter(
+        [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+    )
+    out["reduce"] = comm.reduce(comm.rank + 1)
+    out["allreduce"] = comm.allreduce(comm.rank + 1)
+    out["max"] = comm.allreduce(comm.rank, op=max)
+    out["tree"] = tree_allreduce(comm, comm.rank + 1)
+    comm.barrier()
+    return out
+
+
+class TestSPMDCollectives:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4])
+    def test_all_collectives(self, nprocs):
+        results = run_spmd(_collectives_worker, nprocs, {"k": 1})
+        total = nprocs * (nprocs + 1) // 2
+        for rank, out in enumerate(results):
+            assert out["bcast"] == {"k": 1}
+            assert out["allgather"] == [i * 2 for i in range(nprocs)]
+            assert out["scatter"] == rank * 10
+            assert out["allreduce"] == total
+            assert out["max"] == nprocs - 1
+            assert out["tree"] == total
+        assert results[0]["gather"] == list(range(nprocs))
+        assert results[0]["reduce"] == total
+        for out in results[1:]:
+            assert out["gather"] is None
+            assert out["reduce"] is None
+
+
+def _numpy_worker(comm):
+    local = np.full(5, float(comm.rank))
+    return comm.allreduce(local)
+
+
+def _failing_worker(comm):
+    if comm.rank == 1:
+        raise RuntimeError("boom on rank 1")
+    comm.barrier  # no-op attribute access; ranks return without syncing
+    return comm.rank
+
+
+class TestSPMDHarness:
+    def test_numpy_payloads(self):
+        results = run_spmd(_numpy_worker, 3)
+        for r in results:
+            np.testing.assert_array_equal(r, np.full(5, 3.0))
+
+    def test_single_proc_shortcircuit(self):
+        assert run_spmd(lambda comm: comm.size, 1) == [1]
+
+    def test_errors_are_relayed(self):
+        with pytest.raises(RuntimeError, match="rank 1: RuntimeError: boom"):
+            run_spmd(_failing_worker, 2)
+
+    def test_bad_nprocs(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 0)

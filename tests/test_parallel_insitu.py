@@ -1,0 +1,98 @@
+"""Distributed in-situ encoding tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig, decode_iteration
+from repro.parallel import SerialComm, block_partition, parallel_encode, run_spmd
+
+
+def _pair(rng, n=6000):
+    prev = rng.uniform(1.0, 2.0, n)
+    curr = prev * (1.0 + rng.normal(0.0, 0.003, n))
+    return prev, curr
+
+
+class TestSerial:
+    def test_guarantee_holds(self, rng):
+        prev, curr = _pair(rng)
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        enc, stats = parallel_encode(SerialComm(), prev, curr, cfg)
+        out = decode_iteration(prev, enc)
+        rel = np.abs(out / curr - 1)
+        rel[enc.incompressible] = 0
+        assert rel.max() < 1.2e-3
+        assert stats.n_points == prev.size
+        assert stats.n_incompressible == enc.n_incompressible
+
+    def test_none_comm(self, rng):
+        prev, curr = _pair(rng, 500)
+        enc, stats = parallel_encode(None, prev, curr, NumarckConfig())
+        assert stats.n_points == 500
+
+    def test_unchanged_data(self, rng):
+        prev = rng.uniform(1, 2, 1000)
+        enc, stats = parallel_encode(SerialComm(), prev, prev, NumarckConfig())
+        assert stats.n_incompressible == 0
+        np.testing.assert_array_equal(decode_iteration(prev, enc), prev)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            parallel_encode(SerialComm(), rng.normal(size=5),
+                            rng.normal(size=6), NumarckConfig())
+
+    def test_refine_toggle(self, rng):
+        prev, curr = _pair(rng)
+        cfg = NumarckConfig(error_bound=1e-3, strategy="clustering")
+        enc_a, _ = parallel_encode(SerialComm(), prev, curr, cfg, refine=True)
+        enc_b, _ = parallel_encode(SerialComm(), prev, curr, cfg, refine=False)
+        for enc in (enc_a, enc_b):
+            out = decode_iteration(prev, enc)
+            rel = np.abs(out / curr - 1)
+            rel[enc.incompressible] = 0
+            assert rel.max() < 1.2e-3
+
+
+def _worker(comm, prev_shards, curr_shards, cfg):
+    enc, stats = parallel_encode(comm, prev_shards[comm.rank],
+                                 curr_shards[comm.rank], cfg)
+    return {
+        "reps": enc.representatives,
+        "n_inc": enc.n_incompressible,
+        "stats": (stats.n_points, stats.n_incompressible, stats.n_bins),
+        "indices_max": int(enc.indices.max(initial=0)),
+    }
+
+
+class TestSPMD:
+    @pytest.mark.parametrize("strategy", ["equal_width", "clustering"])
+    def test_ranks_share_model_and_stats(self, rng, strategy):
+        prev, curr = _pair(rng, 4000)
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy=strategy)
+        prev_shards = block_partition(prev, 3)
+        curr_shards = block_partition(curr, 3)
+        results = run_spmd(_worker, 3, prev_shards, curr_shards, cfg)
+        ref = results[0]
+        for res in results[1:]:
+            np.testing.assert_array_equal(res["reps"], ref["reps"])
+            assert res["stats"] == ref["stats"]
+        assert ref["stats"][0] == 4000
+        assert ref["stats"][1] == sum(r["n_inc"] for r in results)
+        assert all(r["indices_max"] < 256 for r in results)
+
+    def test_shards_decode_to_global_within_bound(self, rng):
+        prev, curr = _pair(rng, 3000)
+        cfg = NumarckConfig(error_bound=1e-3, nbits=8)
+        prev_shards = block_partition(prev, 2)
+        curr_shards = block_partition(curr, 2)
+
+        def worker(comm, ps, cs, cfg):
+            enc, _ = parallel_encode(comm, ps[comm.rank], cs[comm.rank], cfg)
+            return decode_iteration(ps[comm.rank], enc), enc.incompressible
+
+        results = run_spmd(worker, 2, prev_shards, curr_shards, cfg)
+        out = np.concatenate([r[0] for r in results])
+        inc = np.concatenate([r[1] for r in results])
+        rel = np.abs(out / curr - 1)
+        rel[inc] = 0
+        assert rel.max() < 1.2e-3

@@ -1,0 +1,44 @@
+"""NumarckCompressor facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckCompressor, NumarckConfig
+
+
+class TestCompressor:
+    def test_default_config(self):
+        comp = NumarckCompressor()
+        assert comp.config.strategy == "clustering"
+
+    def test_compress_decompress_roundtrip(self, smooth_pair):
+        prev, curr = smooth_pair
+        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        enc = comp.compress(prev, curr)
+        out = comp.decompress(prev, enc)
+        rel = np.abs(out / curr - 1)
+        assert rel.max() < 2e-3
+
+    def test_stats_with_and_without_encoded(self, smooth_pair):
+        prev, curr = smooth_pair
+        comp = NumarckCompressor(NumarckConfig())
+        enc = comp.compress(prev, curr)
+        s1 = comp.stats(prev, curr, enc)
+        s2 = comp.stats(prev, curr)
+        assert s1.n_incompressible == s2.n_incompressible
+        assert s1.ratio_paper == pytest.approx(s2.ratio_paper)
+
+    def test_roundtrip_helper(self, smooth_pair):
+        prev, curr = smooth_pair
+        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        out, enc, stats = comp.roundtrip(prev, curr)
+        assert out.shape == curr.shape
+        assert stats.n_points == curr.size
+        assert stats.max_error < 1e-3
+
+    def test_compression_is_order_of_magnitude(self, smooth_pair):
+        """The paper's headline: ~10x reduction within bounds."""
+        prev, curr = smooth_pair
+        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8))
+        _, _, stats = comp.roundtrip(prev, curr)
+        assert stats.ratio_paper > 80.0  # > 5x; 8-bit indices give ~87 % max

@@ -1,0 +1,142 @@
+"""Checkpoint-economics model tests."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CheckpointCostModel,
+    daly_interval,
+    expected_makespan,
+    expected_waste,
+    simulate_makespan,
+    young_interval,
+)
+
+
+class TestCostModel:
+    def test_compression_shrinks_times(self):
+        raw = CheckpointCostModel(data_bytes=1e12, write_bandwidth=1e10)
+        comp = CheckpointCostModel(data_bytes=1e12, write_bandwidth=1e10,
+                                   compression_ratio=85.0)
+        assert comp.checkpoint_time == pytest.approx(raw.checkpoint_time * 0.15)
+        assert comp.restart_time == pytest.approx(raw.restart_time * 0.15)
+
+    def test_overheads_added(self):
+        m = CheckpointCostModel(1e9, 1e9, compression_ratio=50.0,
+                                compress_overhead=2.0, decompress_overhead=1.0)
+        assert m.checkpoint_time == pytest.approx(0.5 + 2.0)
+        assert m.restart_time == pytest.approx(0.5 + 1.0)
+
+    def test_separate_read_bandwidth(self):
+        m = CheckpointCostModel(1e9, 1e9, read_bandwidth=2e9)
+        assert m.restart_time == pytest.approx(m.checkpoint_time / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointCostModel(0, 1e9)
+        with pytest.raises(ValueError):
+            CheckpointCostModel(1e9, 0)
+        with pytest.raises(ValueError):
+            CheckpointCostModel(1e9, 1e9, compression_ratio=100.0)
+        with pytest.raises(ValueError):
+            CheckpointCostModel(1e9, 1e9, compress_overhead=-1)
+
+
+class TestIntervals:
+    def test_young_formula(self):
+        assert young_interval(50.0, 10_000.0) == pytest.approx(1000.0)
+
+    def test_daly_below_young(self):
+        assert daly_interval(50.0, 10_000.0) < young_interval(50.0, 10_000.0)
+
+    def test_daly_floor(self):
+        # Pathological: C comparable to M -> floor at C.
+        assert daly_interval(100.0, 10.0) == pytest.approx(100.0)
+
+    def test_cheaper_checkpoints_mean_shorter_interval(self):
+        """Compression lowers C, so the optimum checkpoints *more often* --
+        and each checkpoint protects more recent work."""
+        assert young_interval(7.5, 1e4) < young_interval(50.0, 1e4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0, 100)
+        with pytest.raises(ValueError):
+            daly_interval(10, 0)
+
+
+class TestWasteAndMakespan:
+    def test_young_interval_minimises_waste(self):
+        c, r, m = 50.0, 50.0, 10_000.0
+        t_star = young_interval(c, m)
+        w_star = expected_waste(t_star, c, r, m)
+        for t in (t_star / 3, t_star * 3):
+            assert expected_waste(t, c, r, m) > w_star
+
+    def test_makespan_exceeds_work(self):
+        assert expected_makespan(1e5, 1000, 50, 50, 1e4) > 1e5
+
+    def test_infinite_when_waste_saturates(self):
+        assert expected_makespan(1e5, 10.0, 50.0, 50.0, 20.0) == float("inf")
+
+    def test_compression_reduces_makespan(self):
+        """The headline: an 85 % ratio cuts the waste term root(C) ~ 2.6x."""
+        m = 3600.0
+        work = 1e6
+        raw_c = 50.0
+        comp_c = raw_c * 0.15
+        raw = expected_makespan(work, young_interval(raw_c, m), raw_c, raw_c, m)
+        comp = expected_makespan(work, young_interval(comp_c, m), comp_c,
+                                 comp_c, m)
+        assert comp < raw
+        # Waste scales ~ sqrt(C): 85 % compression -> ~2.6x less waste.
+        raw_waste = raw / work - 1
+        comp_waste = comp / work - 1
+        assert raw_waste / comp_waste > 2.0
+
+
+class TestSimulator:
+    def test_no_failures_limit(self):
+        """With MTBF >> work the simulation is just work + checkpoints."""
+        got = simulate_makespan(work=1000.0, interval=100.0,
+                                checkpoint_time=5.0, restart_time=5.0,
+                                mtbf=1e12, n_runs=2)
+        assert got == pytest.approx(1000.0 + 9 * 5.0)  # last segment unwritten
+
+    def test_matches_analytic_first_order(self):
+        """In the T << M regime the simulator and the analytic model agree
+        to within ~15 %."""
+        c, r, m = 20.0, 20.0, 50_000.0
+        t = young_interval(c, m)
+        work = 2e5
+        analytic = expected_makespan(work, t, c, r, m)
+        sim = simulate_makespan(work, t, c, r, m,
+                                rng=np.random.default_rng(7), n_runs=48)
+        assert sim == pytest.approx(analytic, rel=0.15)
+
+    def test_more_failures_longer_runs(self):
+        kw = dict(work=1e4, interval=500.0, checkpoint_time=10.0,
+                  restart_time=10.0, n_runs=16,
+                  rng=np.random.default_rng(3))
+        long_mtbf = simulate_makespan(mtbf=1e6, **kw)
+        kw["rng"] = np.random.default_rng(3)
+        short_mtbf = simulate_makespan(mtbf=3e3, **kw)
+        assert short_mtbf > long_mtbf
+
+    def test_compressed_checkpoints_win_in_simulation(self):
+        """Not just analytically: simulated runs finish sooner with the
+        checkpoint cost NUMARCK's ratio implies."""
+        m = 5_000.0
+        work = 5e4
+        results = {}
+        for label, c in (("raw", 60.0), ("numarck", 9.0)):
+            t = young_interval(c, m)
+            results[label] = simulate_makespan(
+                work, t, c, c, m, rng=np.random.default_rng(11), n_runs=32)
+        assert results["numarck"] < results["raw"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_makespan(0, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            simulate_makespan(1, 1, 1, -1, 1)

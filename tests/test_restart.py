@@ -1,0 +1,136 @@
+"""Restart manager, restart experiment and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig
+from repro.restart import (
+    FaultInjector,
+    FaultSchedule,
+    RestartExperiment,
+    RestartManager,
+    run_with_faults,
+)
+from repro.simulations.flash import FlashSimulation
+
+PRIMS = ("dens", "velx", "vely", "velz", "pres")
+
+
+def _factory():
+    return FlashSimulation("sedov", ny=32, nx=32, steps_per_checkpoint=2)
+
+
+class TestRestartManager:
+    def test_record_and_reconstruct(self, rng):
+        mgr = RestartManager(("a", "b"), NumarckConfig(error_bound=1e-3))
+        a0, b0 = rng.uniform(1, 2, 100), rng.uniform(1, 2, 100)
+        mgr.record({"a": a0, "b": b0})
+        a1, b1 = a0 * 1.002, b0 * 0.999
+        mgr.record({"a": a1, "b": b1})
+        state = mgr.restart_state()
+        assert np.max(np.abs(state["a"] / a1 - 1)) < 2e-3
+        assert np.max(np.abs(state["b"] / b1 - 1)) < 2e-3
+        state0 = mgr.restart_state(0)
+        np.testing.assert_array_equal(state0["a"], a0)
+
+    def test_missing_variable_rejected(self, rng):
+        mgr = RestartManager(("a", "b"))
+        with pytest.raises(KeyError):
+            mgr.record({"a": rng.normal(size=10)})
+
+    def test_empty_manager_guards(self):
+        mgr = RestartManager(("a",))
+        assert mgr.n_checkpoints == 0
+        with pytest.raises(RuntimeError):
+            mgr.restart_state()
+        with pytest.raises(RuntimeError):
+            mgr.chain("a")
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError):
+            RestartManager(())
+
+    def test_n_checkpoints_counts(self, rng):
+        mgr = RestartManager(("a",))
+        for i in range(3):
+            mgr.record({"a": rng.uniform(1, 2, 50)})
+        assert mgr.n_checkpoints == 3
+
+
+class TestRestartExperiment:
+    @pytest.fixture(scope="class")
+    def records(self):
+        exp = RestartExperiment(
+            _factory, ("dens", "pres", "temp"),
+            NumarckConfig(error_bound=1e-3, strategy="clustering"),
+            record_variables=PRIMS,
+        )
+        return exp.run(restart_points=(2, 4), n_record=4, n_continue=4)
+
+    def test_simulation_completes_from_approximated_restart(self, records):
+        """Paper III-G headline: FLASH runs successfully from reconstructed
+        restart files."""
+        for rec in records:
+            for v in ("dens", "pres", "temp"):
+                assert all(np.isfinite(e) for e in rec.mean_errors[v])
+
+    def test_error_small_relative_to_fields(self, records):
+        for rec in records:
+            assert max(rec.mean_errors["dens"]) < 1e-3
+
+    def test_trajectory_lengths(self, records):
+        # restart at s: runs to checkpoint 8 -> 8 - s error samples.
+        assert len(records[0].mean_errors["dens"]) == 8 - 2
+        assert len(records[1].mean_errors["dens"]) == 8 - 4
+
+    def test_deeper_restart_has_larger_initial_error(self):
+        """Paper: farther restart points accumulate more chain error."""
+        exp = RestartExperiment(
+            _factory, ("dens",), NumarckConfig(strategy="equal_width"),
+            record_variables=PRIMS,
+        )
+        recs = exp.run(restart_points=(1, 4), n_record=4, n_continue=1)
+        assert recs[1].mean_errors["dens"][0] > recs[0].mean_errors["dens"][0]
+
+    def test_restart_point_validation(self):
+        exp = RestartExperiment(_factory, ("dens",), record_variables=PRIMS)
+        with pytest.raises(ValueError):
+            exp.run(restart_points=(9,), n_record=4, n_continue=1)
+
+
+class TestFaultInjection:
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule((0,))
+        with pytest.raises(ValueError):
+            FaultSchedule((2, 2))
+
+    def test_injector_fires_once(self):
+        inj = FaultInjector(FaultSchedule((3,)))
+        assert not inj.crashes_after(2)
+        assert inj.crashes_after(3)
+        assert not inj.crashes_after(3)
+
+    def test_run_with_faults_completes(self, tmp_path):
+        res = run_with_faults(_factory, PRIMS, n_checkpoints=5,
+                              schedule=FaultSchedule((2, 4)),
+                              workdir=tmp_path,
+                              config=NumarckConfig(error_bound=1e-3))
+        assert res.completed
+        assert res.n_crashes == 2
+        assert res.checkpoints_written == 6
+        # Density must track the reference closely despite two crashes.
+        assert res.final_mean_error["dens"] < 1e-2
+
+    def test_no_faults_matches_reference_closely(self, tmp_path):
+        res = run_with_faults(_factory, PRIMS, n_checkpoints=3,
+                              schedule=FaultSchedule((99,)),
+                              workdir=tmp_path)
+        assert res.n_crashes == 0
+        assert res.final_mean_error["dens"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_chains_persisted(self, tmp_path):
+        run_with_faults(_factory, PRIMS, n_checkpoints=2,
+                        schedule=FaultSchedule((1,)), workdir=tmp_path)
+        for v in PRIMS:
+            assert (tmp_path / f"{v}.nmk").exists()

@@ -1,0 +1,110 @@
+"""Analytical chain-error bounds, verified against measured chains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CheckpointChain, NumarckConfig
+from repro.core.theory import (
+    closed_loop_error_bound,
+    max_chain_depth,
+    open_loop_error_bound,
+)
+
+
+class TestFormulas:
+    def test_zero_depth(self):
+        assert open_loop_error_bound(1e-3, 0) == 0.0
+
+    def test_single_step_equals_e(self):
+        assert open_loop_error_bound(1e-3, 1) == pytest.approx(1e-3)
+
+    def test_linear_regime(self):
+        assert open_loop_error_bound(1e-4, 10) == pytest.approx(1e-3, rel=1e-2)
+
+    def test_monotone_in_depth(self):
+        vals = [open_loop_error_bound(1e-3, d) for d in range(10)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_margin_inflates_bound(self):
+        assert open_loop_error_bound(1e-3, 5, margin=0.5) > \
+            open_loop_error_bound(1e-3, 5, margin=1.0)
+
+    def test_closed_loop_depth_free(self):
+        assert closed_loop_error_bound(1e-3) == pytest.approx(1e-3)
+
+    def test_max_depth_inverse(self):
+        e, target = 1e-3, 1e-2
+        d = max_chain_depth(e, target)
+        assert open_loop_error_bound(e, d) <= target
+        assert open_loop_error_bound(e, d + 1) > target
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            open_loop_error_bound(0.0, 1)
+        with pytest.raises(ValueError):
+            open_loop_error_bound(1e-3, -1)
+        with pytest.raises(ValueError):
+            open_loop_error_bound(1e-3, 1, margin=0)
+        with pytest.raises(ValueError):
+            max_chain_depth(1e-3, 0.0)
+
+
+class TestAgainstMeasuredChains:
+    @pytest.mark.parametrize("reference", ["original", "reconstructed"])
+    def test_bound_holds_on_random_chains(self, rng, reference):
+        e = 1e-3
+        depth = 7
+        data = [rng.uniform(1.0, 2.0, 2000)]
+        for _ in range(depth):
+            data.append(data[-1] * (1 + rng.normal(0, 0.003, 2000)))
+        cfg = NumarckConfig(error_bound=e, reference=reference)
+        chain = CheckpointChain(data[0], cfg)
+        chain.extend(data[1:])
+        measured = float(np.max(np.abs(chain.reconstruct() / data[-1] - 1)))
+        if reference == "original":
+            bound = open_loop_error_bound(e, depth)
+        else:
+            bound = closed_loop_error_bound(e)
+        # Tiny float slack: the guarantee itself is strict-inequality.
+        assert measured <= bound * (1 + 1e-9) + 1e-15
+
+    def test_bound_is_not_vacuous(self, rng):
+        """The open-loop bound should be within ~2 orders of the worst
+        measured error on adversarially wiggly chains, not astronomically
+        loose."""
+        e = 5e-3
+        depth = 6
+        data = [rng.uniform(1.0, 2.0, 4000)]
+        for _ in range(depth):
+            # Changes just beyond the bound so every point is binned, with
+            # coarse precision to maximise per-step approximation error.
+            data.append(data[-1] * (1 + rng.choice([-1, 1], 4000) *
+                                    rng.uniform(0.02, 0.06, 4000)))
+        cfg = NumarckConfig(error_bound=e, nbits=3, strategy="equal_width")
+        chain = CheckpointChain(data[0], cfg)
+        chain.extend(data[1:])
+        measured = float(np.max(np.abs(chain.reconstruct() / data[-1] - 1)))
+        bound = open_loop_error_bound(e, depth, margin=0.9)
+        assert measured <= bound * (1 + 1e-9)
+        assert measured > bound / 300.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), depth=st.integers(1, 6),
+       log_e=st.floats(-4, -2))
+def test_property_measured_within_bound(seed, depth, log_e):
+    rng = np.random.default_rng(seed)
+    e = 10.0**log_e
+    data = [rng.uniform(0.5, 3.0, 300)]
+    margin = np.inf
+    for _ in range(depth):
+        ratios = rng.normal(0, 2 * e, 300)
+        margin = min(margin, float(np.min(np.abs(1 + ratios))))
+        data.append(data[-1] * (1 + ratios))
+    chain = CheckpointChain(data[0], NumarckConfig(error_bound=e))
+    chain.extend(data[1:])
+    measured = float(np.max(np.abs(chain.reconstruct() / data[-1] - 1)))
+    bound = open_loop_error_bound(e, depth, margin=margin)
+    assert measured <= bound * (1 + 1e-9) + 1e-15

@@ -1,0 +1,119 @@
+"""VariableSet: whole-checkpoint compression and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import NumarckConfig, VariableSet
+from repro.restart import RestartManager
+
+
+def _checkpoints(rng, n_iters=3, n=1200):
+    cps = []
+    a, b = rng.uniform(1, 2, n), rng.uniform(10, 20, n)
+    for _ in range(n_iters + 1):
+        cps.append({"a": a.copy(), "b": b.copy()})
+        a = a * (1 + rng.normal(0, 0.002, n))
+        b = b * (1 + rng.normal(0, 0.002, n))
+    return cps
+
+
+class TestRecording:
+    def test_first_record_is_full(self, rng):
+        vs = VariableSet(("a", "b"))
+        stats = vs.record(_checkpoints(rng)[0])
+        assert stats is None
+        assert vs.n_checkpoints == 1
+
+    def test_deltas_return_stats(self, rng):
+        cps = _checkpoints(rng)
+        vs = VariableSet(("a", "b"), NumarckConfig(error_bound=1e-3))
+        vs.record(cps[0])
+        stats = vs.record(cps[1])
+        assert set(stats) == {"a", "b"}
+        assert all(s.max_error < 1e-3 for s in stats.values())
+
+    def test_reconstruct_all_variables(self, rng):
+        cps = _checkpoints(rng)
+        vs = VariableSet(("a", "b"), NumarckConfig(error_bound=1e-3))
+        for cp in cps:
+            vs.record(cp)
+        state = vs.reconstruct()
+        for v in ("a", "b"):
+            rel = np.abs(state[v] / cps[-1][v] - 1)
+            assert rel.max() < len(cps) * 2e-3
+
+    def test_extra_variables_ignored(self, rng):
+        vs = VariableSet(("a",))
+        cp = _checkpoints(rng)[0]
+        vs.record(cp)  # cp also has "b"
+        assert set(vs.reconstruct()) == {"a"}
+
+    def test_missing_variable_rejected(self, rng):
+        vs = VariableSet(("a", "missing"))
+        with pytest.raises(KeyError):
+            vs.record(_checkpoints(rng)[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableSet(())
+        with pytest.raises(ValueError, match="duplicate"):
+            VariableSet(("a", "a"))
+
+    def test_guards_before_first_record(self):
+        vs = VariableSet(("a",))
+        assert vs.n_checkpoints == 0
+        with pytest.raises(RuntimeError):
+            vs.reconstruct()
+        with pytest.raises(RuntimeError):
+            vs.chain("a")
+        with pytest.raises(RuntimeError):
+            vs.save("/tmp/never.nmk")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        cps = _checkpoints(rng)
+        vs = VariableSet(("a", "b"), NumarckConfig())
+        for cp in cps:
+            vs.record(cp)
+        path = tmp_path / "set.nmk"
+        nbytes = vs.save(path)
+        assert nbytes == path.stat().st_size
+        loaded = VariableSet.load(path)
+        assert set(loaded.variables) == {"a", "b"}
+        assert loaded.n_checkpoints == len(cps)
+        for v in ("a", "b"):
+            np.testing.assert_array_equal(vs.reconstruct()[v],
+                                          loaded.reconstruct()[v])
+
+    def test_loaded_set_recordable(self, tmp_path, rng):
+        cps = _checkpoints(rng, n_iters=1)
+        vs = VariableSet(("a", "b"), NumarckConfig())
+        for cp in cps:
+            vs.record(cp)
+        path = tmp_path / "s.nmk"
+        vs.save(path)
+        loaded = VariableSet.load(path, NumarckConfig())
+        loaded.record({k: v * 1.001 for k, v in loaded.reconstruct().items()})
+        assert loaded.n_checkpoints == 3
+
+
+class TestRestartManagerIntegration:
+    def test_restart_manager_is_a_variable_set(self, rng):
+        mgr = RestartManager(("a", "b"), NumarckConfig())
+        assert isinstance(mgr, VariableSet)
+        cps = _checkpoints(rng, n_iters=1)
+        for cp in cps:
+            mgr.record(cp)
+        np.testing.assert_array_equal(mgr.restart_state()["a"],
+                                      mgr.reconstruct()["a"])
+
+    def test_restart_manager_persistence(self, tmp_path, rng):
+        mgr = RestartManager(("a",), NumarckConfig())
+        cps = _checkpoints(rng, n_iters=2)
+        for cp in cps:
+            mgr.record(cp)
+        mgr.save(tmp_path / "m.nmk")
+        loaded = RestartManager.load(tmp_path / "m.nmk")
+        np.testing.assert_array_equal(loaded.restart_state()["a"],
+                                      mgr.restart_state()["a"])
