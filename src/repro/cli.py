@@ -18,6 +18,11 @@ archives, mirroring how a simulation writes one multi-variable checkpoint::
 ``append`` reuses the previous delta's parameters when flags are omitted,
 so a chain stays self-consistent without repeating configuration;
 ``inspect`` understands both file flavours.
+
+Integrity tooling (any file flavour)::
+
+    python -m repro verify ckpt.nmk   # per-record CRC walk, exit 1 on damage
+    python -m repro repair ckpt.nmk   # backup, then truncate to valid prefix
 """
 
 from __future__ import annotations
@@ -236,6 +241,51 @@ def _describe_chain(name: str, chain: CheckpointChain, indent: str = "") -> None
               f"gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}%")
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.errors import FormatError
+    from repro.io.container import CheckpointFile
+
+    with CheckpointFile.open(args.file) as f:
+        index = 0
+        damage: str | None = None
+        try:
+            for tag, payload in f.records(strict=False):
+                index += 1
+                print(f"  record {index}: tag={tag.decode('ascii', 'replace')}"
+                      f" {len(payload)} bytes  crc ok")
+            if f.damage is not None:
+                damage = f"torn tail: {f.damage[0]}"
+        except FormatError as exc:
+            damage = f"interior damage: {exc}"
+    if damage is None:
+        print(f"{args.file}: clean ({index} records)")
+        return 0
+    print(f"{args.file}: DAMAGED after {index} valid records -- {damage}",
+          file=sys.stderr)
+    print(f"run 'repro repair {args.file}' to truncate to the valid prefix",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    import shutil
+
+    from repro.io import salvage_truncate
+
+    backup = args.backup if args.backup else f"{args.file}.bak"
+    shutil.copy2(args.file, backup)
+    report = salvage_truncate(args.file)
+    if report.clean:
+        Path(backup).unlink()
+        print(f"{args.file}: already clean ({report.records_kept} records), "
+              f"backup removed")
+        return 0
+    print(f"{args.file}: kept {report.records_kept} records, truncated "
+          f"{report.bytes_truncated} damaged bytes ({report.reason})")
+    print(f"original preserved at {backup}")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.errors import FormatError
 
@@ -321,6 +371,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="summarise a chain file (either flavour)")
     p.add_argument("chain", help=".nmk chain file")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("verify",
+                       help="walk a checkpoint file and report per-record "
+                            "CRC status (exit 1 on damage)")
+    p.add_argument("file", help="checkpoint file (any flavour)")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("repair",
+                       help="truncate a damaged checkpoint file to its last "
+                            "valid record (a backup is written first)")
+    p.add_argument("file", help="checkpoint file (any flavour)")
+    p.add_argument("--backup", default=None,
+                   help="backup path (default: FILE.bak)")
+    p.set_defaults(func=_cmd_repair)
     return parser
 
 

@@ -24,7 +24,13 @@ from repro.core.checkpoint import CheckpointChain
 from repro.core.config import NumarckConfig
 from repro.core.decoder import decode_iteration, decode_region
 from repro.core.encoder import EncodedIteration, encode_iteration
-from repro.core.errors import ConfigError, FormatError, NumarckError
+from repro.core.errors import (
+    ConfigError,
+    FormatError,
+    NumarckError,
+    SalvageError,
+    SalvageReport,
+)
 from repro.core.joint import JointEncodedIteration, decode_joint, encode_joint
 from repro.core.metrics import (
     CompressionStats,
@@ -93,4 +99,6 @@ __all__ = [
     "NumarckError",
     "ConfigError",
     "FormatError",
+    "SalvageError",
+    "SalvageReport",
 ]

@@ -74,6 +74,29 @@ class CheckpointChain:
         """Append several iterations; returns their stats in order."""
         return [self.append(it) for it in iterations]
 
+    def truncate(self, n_iterations: int) -> None:
+        """Drop deltas so the chain holds only its first ``n_iterations``
+        states (``n_iterations >= 1``; the full checkpoint always stays).
+
+        Used after salvaging damaged files: a multi-variable checkpoint
+        torn mid-iteration leaves chains of unequal length, and resuming
+        requires cutting them back to a common depth.  The running
+        reference is replayed from the kept deltas, so further appends
+        behave like appends to a freshly loaded chain.
+        """
+        if not 1 <= n_iterations <= len(self):
+            raise IndexError(
+                f"cannot truncate to {n_iterations} of {len(self)} iterations"
+            )
+        if n_iterations == len(self):
+            return
+        self._deltas = self._deltas[: n_iterations - 1]
+        self._stats = self._stats[: n_iterations - 1]
+        state = self._full.copy()
+        for enc in self._deltas:
+            state = decode_iteration(state, enc)
+        self._ref = state
+
     # -- reading ----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -46,10 +46,13 @@ class VariableSet:
 
     @property
     def n_checkpoints(self) -> int:
-        """Checkpoints recorded so far (including the initial full one)."""
+        """Checkpoints present for *every* variable (including the initial
+        full one).  Chains normally share a depth; after torn-tail salvage
+        of a multi-variable file they may differ by one, and only the
+        common prefix counts."""
         if self._chains is None:
             return 0
-        return len(next(iter(self._chains.values())))
+        return min(len(c) for c in self._chains.values())
 
     def record(self, checkpoint: dict[str, np.ndarray]
                ) -> dict[str, CompressionStats] | None:
@@ -73,9 +76,13 @@ class VariableSet:
 
     def reconstruct(self, iteration: int | None = None
                     ) -> dict[str, np.ndarray]:
-        """Decode every variable at ``iteration`` (None = latest)."""
+        """Decode every variable at ``iteration`` (None = latest *common*
+        iteration, so salvaged sets never mix iterations across
+        variables)."""
         if self._chains is None:
             raise RuntimeError("no checkpoints recorded yet")
+        if iteration is None:
+            iteration = self.n_checkpoints - 1
         return {v: c.reconstruct(iteration) for v, c in self._chains.items()}
 
     # -- persistence ----------------------------------------------------------

@@ -17,9 +17,25 @@ High-level API::
     with CheckpointFile.create(path) as f:  # streaming writer
         f.write_full(d0)
         f.write_delta(encoded)
+
+    with CheckpointFile.append(path) as f:  # crash-consistent appends
+        f.write_delta(encoded)              # per-record fsync
+
+    chain, report = load_chain(path, recover="tail")   # torn-tail salvage
+
+Durability: ``save_*`` replace files atomically (temp file + fsync +
+rename, see :mod:`repro.io.durable`); ``append`` fsyncs per record and
+truncates torn tails left by interrupted writes; ``salvage_truncate``
+repairs a damaged file in place.
 """
 
-from repro.io.container import CheckpointFile, load_chain, save_chain
+from repro.io.container import (
+    CheckpointFile,
+    load_chain,
+    salvage_truncate,
+    save_chain,
+)
+from repro.io.durable import atomic_write, fsync_dir, retry_io
 from repro.io.multichain import MultiChainWriter, load_chains, save_chains
 from repro.io.streamed import load_streamed, save_streamed
 from repro.io.format import (
@@ -40,6 +56,10 @@ __all__ = [
     "MultiChainWriter",
     "save_streamed",
     "load_streamed",
+    "salvage_truncate",
+    "atomic_write",
+    "retry_io",
+    "fsync_dir",
     "encode_delta_bytes",
     "decode_delta_bytes",
     "encode_full_bytes",

@@ -10,10 +10,16 @@ container.  Two additional record tags carry a variable-name prefix:
 Records may be interleaved arbitrarily (e.g. appended iteration by
 iteration across variables); per-variable order is preserved.  Each
 variable's first record must be its ``NFUL``.
+
+Durability follows :mod:`repro.io.container`: :func:`save_chains` is an
+atomic whole-file replace, :meth:`MultiChainWriter.append` adds records in
+place with per-record ``fsync``, and :func:`load_chains` with
+``recover="tail"`` salvages the longest valid prefix of a torn file.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
 
@@ -22,8 +28,9 @@ import numpy as np
 from repro.core.checkpoint import CheckpointChain
 from repro.core.config import NumarckConfig
 from repro.core.decoder import decode_iteration
-from repro.core.errors import FormatError
-from repro.io.container import CheckpointFile
+from repro.core.errors import FormatError, SalvageError, SalvageReport
+from repro.io.container import HEADER_SIZE, CheckpointFile, WriteHook
+from repro.io.durable import atomic_write, retry_io
 from repro.io.format import (
     decode_delta_bytes,
     decode_full_bytes,
@@ -74,21 +81,47 @@ class MultiChainWriter:
         self._seen_full: set[str] = set()
 
     @classmethod
-    def create(cls, path: str | Path) -> "MultiChainWriter":
-        return cls(CheckpointFile.create(path))
+    def create(cls, path: str | Path, *,
+               write_hook: WriteHook | None = None,
+               sync: bool = False) -> "MultiChainWriter":
+        return cls(CheckpointFile.create(path, write_hook=write_hook,
+                                         sync=sync))
+
+    @classmethod
+    def append(cls, path: str | Path, *,
+               write_hook: WriteHook | None = None,
+               sync: bool = True) -> "MultiChainWriter":
+        """Open an existing multi-variable file for crash-consistent
+        appending (torn tails are truncated, see
+        :meth:`CheckpointFile.append`); replays the surviving records so
+        per-variable full/delta bookkeeping continues correctly."""
+        seen: set[str] = set()
+        with CheckpointFile.open(path) as reader:
+            for tag, payload in reader.records(strict=False):
+                if tag == TAG_NAMED_FULL:
+                    name, _ = _split_named(payload)
+                    seen.add(name)
+                elif tag != TAG_NAMED_DELTA:
+                    raise FormatError(
+                        f"unexpected record tag {tag!r} in multi-chain file"
+                    )
+        writer = cls(CheckpointFile.append(path, write_hook=write_hook,
+                                           sync=sync))
+        writer._seen_full = seen
+        return writer
 
     def write_full(self, name: str, data: np.ndarray) -> None:
         if name in self._seen_full:
             raise FormatError(f"variable {name!r} already has a full record")
         self._seen_full.add(name)
-        self._inner._write_record(TAG_NAMED_FULL,
-                                  _named(name, encode_full_bytes(data)))
+        self._inner.write_record(TAG_NAMED_FULL,
+                                 _named(name, encode_full_bytes(data)))
 
     def write_delta(self, name: str, encoded) -> None:
         if name not in self._seen_full:
             raise FormatError(f"variable {name!r} has no full record yet")
-        self._inner._write_record(TAG_NAMED_DELTA,
-                                  _named(name, encode_delta_bytes(encoded)))
+        self._inner.write_record(TAG_NAMED_DELTA,
+                                 _named(name, encode_delta_bytes(encoded)))
 
     def close(self) -> None:
         self._inner.close()
@@ -100,51 +133,48 @@ class MultiChainWriter:
         self.close()
 
 
-def save_chains(path: str | Path, chains: dict[str, CheckpointChain]) -> int:
+def _write_interleaved(w: MultiChainWriter,
+                       chains: dict[str, CheckpointChain]) -> None:
+    for name, chain in chains.items():
+        w.write_full(name, chain.full_checkpoint)
+    depth = max(len(c.deltas) for c in chains.values())
+    for i in range(depth):
+        for name, chain in chains.items():
+            if i < len(chain.deltas):
+                w.write_delta(name, chain.deltas[i])
+
+
+def save_chains(path: str | Path, chains: dict[str, CheckpointChain], *,
+                durable: bool = True) -> int:
     """Write a set of chains into one file; returns bytes written.
 
     Records are interleaved by iteration (all variables' fulls, then every
     variable's delta 1, delta 2, ...), matching how an in-situ writer would
-    append them.
+    append them.  With ``durable`` (the default) the file is replaced
+    atomically and transient ``OSError``\\ s are retried, so a crash never
+    destroys the previous checkpoint set.
     """
     if not chains:
         raise FormatError("no chains to save")
-    with MultiChainWriter.create(path) as w:
-        for name, chain in chains.items():
-            w.write_full(name, chain.full_checkpoint)
-        depth = max(len(c.deltas) for c in chains.values())
-        for i in range(depth):
-            for name, chain in chains.items():
-                if i < len(chain.deltas):
-                    w.write_delta(name, chain.deltas[i])
+
+    def _write_all() -> None:
+        if durable:
+            with atomic_write(path) as fh:
+                inner = CheckpointFile.from_handle(fh)
+                _write_interleaved(MultiChainWriter(inner), chains)
+        else:
+            with MultiChainWriter.create(path) as w:
+                _write_interleaved(w, chains)
+
+    if durable:
+        retry_io(_write_all)
+    else:
+        _write_all()
     return Path(path).stat().st_size
 
 
-def load_chains(path: str | Path,
-                config: NumarckConfig | None = None
-                ) -> dict[str, CheckpointChain]:
-    """Read a multi-variable checkpoint file back into chains."""
-    fulls: dict[str, np.ndarray] = {}
-    deltas: dict[str, list] = {}
-    with CheckpointFile.open(path) as f:
-        for tag, payload in f.records():
-            if tag == TAG_NAMED_FULL:
-                name, body = _split_named(payload)
-                if name in fulls:
-                    raise FormatError(f"duplicate full record for {name!r}")
-                fulls[name] = decode_full_bytes(body)
-                deltas[name] = []
-            elif tag == TAG_NAMED_DELTA:
-                name, body = _split_named(payload)
-                if name not in fulls:
-                    raise FormatError(f"delta for unknown variable {name!r}")
-                deltas[name].append(decode_delta_bytes(body))
-            else:
-                raise FormatError(
-                    f"unexpected record tag {tag!r} in multi-chain file"
-                )
-    if not fulls:
-        raise FormatError("multi-chain file has no records")
+def _rebuild(fulls: dict[str, np.ndarray], deltas: dict[str, list],
+             config: NumarckConfig | None) -> dict[str, CheckpointChain]:
     out: dict[str, CheckpointChain] = {}
     for name, full in fulls.items():
         chain = CheckpointChain(full, config)
@@ -155,3 +185,75 @@ def load_chains(path: str | Path,
         chain._ref = state  # noqa: SLF001
         out[name] = chain
     return out
+
+
+def load_chains(path: str | Path,
+                config: NumarckConfig | None = None,
+                recover: str | None = None):
+    """Read a multi-variable checkpoint file back into chains.
+
+    With ``recover="tail"`` a torn trailing record is dropped instead of
+    raising and the call returns ``(chains, SalvageReport)``.  Because a
+    torn tail can cut mid-iteration, the surviving chains may differ in
+    length by one; callers resuming a run should truncate them to the
+    shortest (see :meth:`CheckpointChain.truncate`).  Interior corruption
+    still raises :class:`FormatError`; a file with no salvageable records
+    raises :class:`SalvageError`.
+    """
+    if recover not in (None, "tail"):
+        raise ValueError(f"unknown recover mode {recover!r}")
+    fulls: dict[str, np.ndarray] = {}
+    deltas: dict[str, list] = {}
+
+    if recover is None:
+        f = CheckpointFile.open(path)
+    else:
+        try:
+            f = CheckpointFile.open(path)
+        except FormatError as exc:
+            raise SalvageError(f"{path}: nothing to salvage: {exc}") from exc
+    with f:
+        try:
+            for tag, payload in f.records(strict=recover is None):
+                if tag == TAG_NAMED_FULL:
+                    name, body = _split_named(payload)
+                    if name in fulls:
+                        raise FormatError(
+                            f"duplicate full record for {name!r}")
+                    fulls[name] = decode_full_bytes(body)
+                    deltas[name] = []
+                elif tag == TAG_NAMED_DELTA:
+                    name, body = _split_named(payload)
+                    if name not in fulls:
+                        raise FormatError(
+                            f"delta for unknown variable {name!r}")
+                    deltas[name].append(decode_delta_bytes(body))
+                else:
+                    raise FormatError(
+                        f"unexpected record tag {tag!r} in multi-chain file"
+                    )
+        except FormatError as exc:
+            if recover is not None and f.valid_end == HEADER_SIZE:
+                raise SalvageError(
+                    f"{path}: nothing to salvage: {exc}") from exc
+            raise
+        if not fulls:
+            if recover is not None:
+                raise SalvageError(f"{path}: nothing to salvage: "
+                                   f"multi-chain file has no records")
+            raise FormatError("multi-chain file has no records")
+        if recover is not None:
+            file_size = os.fstat(f._fh.fileno()).st_size  # noqa: SLF001
+            truncated = file_size - f.valid_end
+            n_records = len(fulls) + sum(len(d) for d in deltas.values())
+            report = SalvageReport(
+                path=str(path),
+                records_kept=n_records,
+                records_dropped=1 if truncated else 0,
+                bytes_truncated=truncated,
+                reason=f.damage[0] if f.damage else None,
+            )
+    chains = _rebuild(fulls, deltas, config)
+    if recover is None:
+        return chains
+    return chains, report

@@ -25,6 +25,7 @@ from repro.bitpack import pack_bits, packed_nbytes, unpack_bits
 from repro.core.errors import FormatError
 from repro.core.streaming import ChunkRecord, StreamedIteration
 from repro.io.container import CheckpointFile
+from repro.io.durable import atomic_write, retry_io
 
 __all__ = ["save_streamed", "load_streamed"]
 
@@ -104,12 +105,34 @@ def _parse_chunk(payload: bytes, nbits: int) -> ChunkRecord:
                        incompressible=mask, exact_values=exact)
 
 
-def save_streamed(path: str | Path, streamed: StreamedIteration) -> int:
-    """Write a streamed iteration chunk by chunk; returns bytes written."""
-    with CheckpointFile.create(path) as f:
-        f._write_record(TAG_STREAM_HEADER, _header_payload(streamed))
+def save_streamed(path: str | Path, streamed: StreamedIteration, *,
+                  durable: bool = True) -> int:
+    """Write a streamed iteration chunk by chunk; returns bytes written.
+
+    With ``durable`` (the default) the file is replaced atomically via
+    :func:`~repro.io.durable.atomic_write` under
+    :func:`~repro.io.durable.retry_io`, so a crash mid-save never leaves a
+    torn stream behind.
+    """
+
+    def _write_all() -> None:
+        if durable:
+            with atomic_write(path) as fh:
+                f = CheckpointFile.from_handle(fh)
+                _write_records(f)
+        else:
+            with CheckpointFile.create(path) as f:
+                _write_records(f)
+
+    def _write_records(f: CheckpointFile) -> None:
+        f.write_record(TAG_STREAM_HEADER, _header_payload(streamed))
         for chunk in streamed.chunks:
-            f._write_record(TAG_CHUNK, _chunk_payload(chunk, streamed.nbits))
+            f.write_record(TAG_CHUNK, _chunk_payload(chunk, streamed.nbits))
+
+    if durable:
+        retry_io(_write_all)
+    else:
+        _write_all()
     return Path(path).stat().st_size
 
 

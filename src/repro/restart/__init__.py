@@ -11,9 +11,14 @@ Ties the compression chain to a running simulation (paper Section III-G):
 * :mod:`repro.restart.faults` -- fault injection: run a simulation under a
   schedule of crashes, restarting from the latest persisted chain each
   time, and verify the run completes within bounded deviation.
+  :class:`DiskFaultInjector` extends the schedule *into* the write path:
+  torn writes, bit flips and transient I/O errors during persistence,
+  with recovery through the torn-tail salvage reader.
 """
 
 from repro.restart.faults import (
+    CrashDuringWrite,
+    DiskFaultInjector,
     FaultInjector,
     FaultRunResult,
     FaultSchedule,
@@ -26,6 +31,8 @@ __all__ = [
     "RestartExperiment",
     "RestartRecord",
     "FaultInjector",
+    "DiskFaultInjector",
+    "CrashDuringWrite",
     "FaultSchedule",
     "FaultRunResult",
     "run_with_faults",
