@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.tracer import get_telemetry
+
 __all__ = ["pack_bits", "unpack_bits", "packed_nbytes"]
 
 _MAX_WIDTH = 32
@@ -55,24 +57,31 @@ def pack_bits(values: np.ndarray, width: int) -> bytes:
         return b""
     if not np.issubdtype(vals.dtype, np.integer):
         raise TypeError(f"values must be integers, got dtype {vals.dtype}")
-    vals = vals.astype(np.uint64, copy=False)
-    limit = np.uint64(1) << np.uint64(width)
-    if vals.max() >= limit:
-        raise ValueError(f"values exceed {width}-bit range (max={int(vals.max())})")
+    tel = get_telemetry()
+    with tel.span("bitpack.pack", n_values=vals.size, width=width) as sp:
+        vals = vals.astype(np.uint64, copy=False)
+        limit = np.uint64(1) << np.uint64(width)
+        if vals.max() >= limit:
+            raise ValueError(
+                f"values exceed {width}-bit range (max={int(vals.max())})")
 
-    # Byte-aligned widths are direct casts (little-endian), ~10x faster
-    # than the generic bit-matrix path and bit-identical to it.
-    if width == 8:
-        return vals.astype("<u1").tobytes()
-    if width == 16:
-        return vals.astype("<u2").tobytes()
-    if width == 32:
-        return vals.astype("<u4").tobytes()
-
-    # (n, width) matrix of bits, LSB first within each value.
-    shifts = np.arange(width, dtype=np.uint64)
-    bits = ((vals[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+        # Byte-aligned widths are direct casts (little-endian), ~10x faster
+        # than the generic bit-matrix path and bit-identical to it.
+        if width == 8:
+            out = vals.astype("<u1").tobytes()
+        elif width == 16:
+            out = vals.astype("<u2").tobytes()
+        elif width == 32:
+            out = vals.astype("<u4").tobytes()
+        else:
+            # (n, width) matrix of bits, LSB first within each value.
+            shifts = np.arange(width, dtype=np.uint64)
+            bits = ((vals[:, None] >> shifts[None, :]) & np.uint64(1)
+                    ).astype(np.uint8)
+            out = np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+        sp.set(bytes_in=vals.size * 8, bytes_out=len(out))
+    tel.metrics.counter("bitpack.bytes_packed").inc(len(out))
+    return out
 
 
 def unpack_bits(data: bytes | bytearray | np.ndarray, count: int, width: int) -> np.ndarray:
@@ -99,20 +108,24 @@ def unpack_bits(data: bytes | bytearray | np.ndarray, count: int, width: int) ->
         raise ValueError(f"count must be non-negative, got {count}")
     if count == 0:
         return np.empty(0, dtype=np.uint32)
-    raw = np.frombuffer(bytes(data), dtype=np.uint8)
-    need = packed_nbytes(count, width)
-    if raw.size < need:
-        raise ValueError(f"need {need} bytes for {count} x {width}-bit values, got {raw.size}")
-    if width == 8:
-        return raw[:need].astype(np.uint32)
-    if width == 16:
-        return raw[:need].view("<u2").astype(np.uint32)
-    if width == 32:
-        return raw[:need].view("<u4").astype(np.uint32)
-    bits = np.unpackbits(raw[:need], bitorder="little")[: count * width]
-    bits = bits.reshape(count, width).astype(np.uint64)
-    shifts = np.arange(width, dtype=np.uint64)
-    out = (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
-    if width <= 32:
-        return out.astype(np.uint32)
-    return out
+    with get_telemetry().span("bitpack.unpack", n_values=count,
+                              width=width) as sp:
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+        need = packed_nbytes(count, width)
+        sp.set(bytes_in=need, bytes_out=count * 4)
+        if raw.size < need:
+            raise ValueError(
+                f"need {need} bytes for {count} x {width}-bit values, got {raw.size}")
+        if width == 8:
+            return raw[:need].astype(np.uint32)
+        if width == 16:
+            return raw[:need].view("<u2").astype(np.uint32)
+        if width == 32:
+            return raw[:need].view("<u4").astype(np.uint32)
+        bits = np.unpackbits(raw[:need], bitorder="little")[: count * width]
+        bits = bits.reshape(count, width).astype(np.uint64)
+        shifts = np.arange(width, dtype=np.uint64)
+        out = (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+        if width <= 32:
+            return out.astype(np.uint32)
+        return out

@@ -23,6 +23,11 @@ Integrity tooling (any file flavour)::
 
     python -m repro verify ckpt.nmk   # per-record CRC walk, exit 1 on damage
     python -m repro repair ckpt.nmk   # backup, then truncate to valid prefix
+
+Telemetry: run any workflow with ``NUMARCK_TRACE=trace.jsonl`` to capture
+spans, then summarise them::
+
+    python -m repro stats trace.jsonl   # stage breakdown + metrics tables
 """
 
 from __future__ import annotations
@@ -228,17 +233,33 @@ def _cmd_decompress_stream(args: argparse.Namespace) -> int:
 
 
 def _describe_chain(name: str, chain: CheckpointChain, indent: str = "") -> None:
+    from repro.telemetry.accounting import (
+        delta_payload_nbytes,
+        full_payload_nbytes,
+        raw_nbytes,
+        record_nbytes,
+    )
+
     full = chain.full_checkpoint
     print(f"{indent}{name}: {len(chain)} iterations "
           f"(1 full + {len(chain.deltas)} deltas), "
           f"{full.size} points of shape {full.shape}")
+    full_bytes = record_nbytes(full_payload_nbytes(full))
+    stored = full_bytes
+    raw = raw_nbytes(full.size)
+    print(f"{indent}  full: {full_bytes:,} bytes on disk "
+          f"({raw:,} raw)")
     for i, enc in enumerate(chain.deltas, start=1):
         ratio = compression_ratio_paper(enc.n_points, enc.n_incompressible,
                                         enc.nbits,
                                         value_bits=enc.value_bits)
+        nbytes = record_nbytes(delta_payload_nbytes(enc))
+        stored += nbytes
+        raw += raw_nbytes(enc.n_points, value_bits=enc.value_bits)
         print(f"{indent}  delta {i}: strategy={enc.strategy} B={enc.nbits} "
               f"E={enc.error_bound:g} bins={enc.representatives.size} "
-              f"gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}%")
+              f"gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}% | "
+              f"{nbytes:,} bytes, chain {stored / raw:.1%} of raw")
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -283,6 +304,32 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     print(f"{args.file}: kept {report.records_kept} records, truncated "
           f"{report.bytes_truncated} damaged bytes ({report.reason})")
     print(f"original preserved at {backup}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        metrics_table,
+        read_trace,
+        stage_table,
+        trace_totals,
+    )
+
+    records = read_trace(args.trace)
+    spans = [r for r in records if r.get("type") == "span"]
+    if not spans:
+        print(f"error: {args.trace}: trace contains no spans", file=sys.stderr)
+        return 1
+    totals = trace_totals(spans)
+    print(f"{args.trace}: {len(spans)} spans, "
+          f"{totals['root_wall_s'] * 1e3:.2f} ms traced, "
+          f"{totals['bytes_out'] / 1e6:.2f} MB out")
+    print()
+    print(stage_table(spans))
+    metrics = [r for r in records if r.get("type") == "metrics"]
+    if metrics:
+        print()
+        print(metrics_table(metrics[-1]))
     return 0
 
 
@@ -371,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="summarise a chain file (either flavour)")
     p.add_argument("chain", help=".nmk chain file")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("stats",
+                       help="stage-breakdown and metrics tables from a "
+                            "telemetry trace (exit 1 if it has no spans)")
+    p.add_argument("trace", help="trace .jsonl file (see NUMARCK_TRACE)")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("verify",
                        help="walk a checkpoint file and report per-record "

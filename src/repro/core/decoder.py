@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.change import apply_change
 from repro.core.encoder import EncodedIteration
 from repro.core.errors import FormatError
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["decode_iteration", "decode_region"]
 
@@ -45,10 +46,13 @@ def decode_iteration(prev: np.ndarray, encoded: EncodedIteration) -> np.ndarray:
         raise FormatError(
             f"reference shape {p.shape} does not match encoded shape {encoded.shape}"
         )
-    ratios = encoded.decoded_ratios()
-    out = apply_change(p.ravel(), ratios)
-    out[encoded.incompressible] = encoded.exact_values
-    return out.reshape(encoded.shape)
+    with get_telemetry().span("decode", n_points=encoded.n_points,
+                              bytes_out=encoded.n_points * 8) as sp:
+        sp.set(gamma=encoded.incompressible_ratio)
+        ratios = encoded.decoded_ratios()
+        out = apply_change(p.ravel(), ratios)
+        out[encoded.incompressible] = encoded.exact_values
+        return out.reshape(encoded.shape)
 
 
 def decode_region(prev_region: np.ndarray, encoded: EncodedIteration,

@@ -27,6 +27,8 @@ from repro.core.change import change_ratios
 from repro.core.config import NumarckConfig
 from repro.core.strategies import get_strategy
 from repro.core.strategies.base import BinModel
+from repro.telemetry.accounting import delta_payload_nbytes
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["EncodedIteration", "encode_iteration"]
 
@@ -131,58 +133,73 @@ def encode_iteration(
     cfg = config if config is not None else NumarckConfig()
     curr_dtype = np.asarray(curr).dtype
     value_bits = 32 if curr_dtype == np.float32 else 64
-    field = change_ratios(prev, curr)
-    ratios = field.ratios.ravel()
-    forced = field.forced_exact.ravel()
-    n = ratios.size
-    shape = np.asarray(curr).shape
+    tel = get_telemetry()
+    with tel.span("encode", n_points=int(np.asarray(curr).size),
+                  strategy=cfg.strategy,
+                  bytes_in=int(np.asarray(curr).nbytes)) as tspan:
+        with tel.span("encode.change_ratios"):
+            field = change_ratios(prev, curr)
+        ratios = field.ratios.ravel()
+        forced = field.forced_exact.ravel()
+        n = ratios.size
+        shape = np.asarray(curr).shape
 
-    e = cfg.error_bound
-    indices = np.zeros(n, dtype=np.uint32)
-    incompressible = forced.copy()
+        e = cfg.error_bound
+        indices = np.zeros(n, dtype=np.uint32)
+        incompressible = forced.copy()
 
-    if cfg.reserve_zero_bin:
-        small = (np.abs(ratios) < e) & ~forced
-        candidate_mask = ~small & ~forced
-    else:
-        # Ablation mode: no reserved zero index; all defined ratios are
-        # candidates and the table must carry a near-zero bin itself.
-        candidate_mask = ~forced
-
-    cand_idx = np.flatnonzero(candidate_mask)
-    representatives = np.empty(0, dtype=np.float64)
-    if cand_idx.size:
-        candidates = ratios[cand_idx]
-        model = _fit_model(candidates, cfg)
-        representatives = model.representatives
-        labels = model.assign(candidates)
-        approx = representatives[labels]
-        fail = np.abs(approx - candidates) >= e
-        ok = ~fail
         if cfg.reserve_zero_bin:
-            indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + 1
+            small = (np.abs(ratios) < e) & ~forced
+            candidate_mask = ~small & ~forced
         else:
-            indices[cand_idx[ok]] = labels[ok].astype(np.uint32)
-        incompressible[cand_idx[fail]] = True
+            # Ablation mode: no reserved zero index; all defined ratios are
+            # candidates and the table must carry a near-zero bin itself.
+            candidate_mask = ~forced
 
-    exact_values = np.asarray(curr, dtype=np.float64).ravel()[incompressible].copy()
-    indices[incompressible] = 0
+        cand_idx = np.flatnonzero(candidate_mask)
+        representatives = np.empty(0, dtype=np.float64)
+        if cand_idx.size:
+            candidates = ratios[cand_idx]
+            with tel.span("encode.fit", n_candidates=int(cand_idx.size)):
+                model = _fit_model(candidates, cfg)
+            representatives = model.representatives
+            with tel.span("encode.assign", n_candidates=int(cand_idx.size)):
+                labels = model.assign(candidates)
+                approx = representatives[labels]
+                fail = np.abs(approx - candidates) >= e
+                ok = ~fail
+                if cfg.reserve_zero_bin:
+                    indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + 1
+                else:
+                    indices[cand_idx[ok]] = labels[ok].astype(np.uint32)
+                incompressible[cand_idx[fail]] = True
 
-    max_index = (1 << cfg.nbits) - 1
-    if representatives.size > (max_index if cfg.reserve_zero_bin else max_index + 1):
-        raise AssertionError(
-            "strategy produced more representatives than the index width allows"
+        exact_values = np.asarray(curr, dtype=np.float64).ravel()[incompressible].copy()
+        indices[incompressible] = 0
+
+        max_index = (1 << cfg.nbits) - 1
+        if representatives.size > (max_index if cfg.reserve_zero_bin else max_index + 1):
+            raise AssertionError(
+                "strategy produced more representatives than the index width allows"
+            )
+
+        enc = EncodedIteration(
+            shape=tuple(shape),
+            nbits=cfg.nbits,
+            representatives=representatives,
+            indices=indices,
+            incompressible=incompressible,
+            exact_values=exact_values,
+            error_bound=e,
+            strategy=cfg.strategy,
+            zero_reserved=cfg.reserve_zero_bin,
+            value_bits=value_bits,
         )
-
-    return EncodedIteration(
-        shape=tuple(shape),
-        nbits=cfg.nbits,
-        representatives=representatives,
-        indices=indices,
-        incompressible=incompressible,
-        exact_values=exact_values,
-        error_bound=e,
-        strategy=cfg.strategy,
-        zero_reserved=cfg.reserve_zero_bin,
-        value_bits=value_bits,
-    )
+        tspan.set(bytes_out=delta_payload_nbytes(enc),
+                  gamma=enc.incompressible_ratio,
+                  n_bins=int(representatives.size))
+    tel.metrics.histogram(
+        "encode.incompressible_fraction",
+        buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+    ).observe(enc.incompressible_ratio)
+    return enc

@@ -14,6 +14,7 @@ from repro.core.config import NumarckConfig
 from repro.core.decoder import decode_iteration
 from repro.core.encoder import EncodedIteration, encode_iteration
 from repro.core.metrics import CompressionStats, iteration_stats
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["NumarckCompressor"]
 
@@ -40,11 +41,14 @@ class NumarckCompressor:
 
     def compress(self, prev: np.ndarray, curr: np.ndarray) -> EncodedIteration:
         """Encode ``curr`` against reference ``prev``."""
-        return encode_iteration(prev, curr, self.config)
+        with get_telemetry().span("pipeline.compress",
+                                  strategy=self.config.strategy):
+            return encode_iteration(prev, curr, self.config)
 
     def decompress(self, prev: np.ndarray, encoded: EncodedIteration) -> np.ndarray:
         """Decode an iteration against the same reference it was encoded with."""
-        return decode_iteration(prev, encoded)
+        with get_telemetry().span("pipeline.decompress"):
+            return decode_iteration(prev, encoded)
 
     def stats(self, prev: np.ndarray, curr: np.ndarray,
               encoded: EncodedIteration | None = None) -> CompressionStats:

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.strategies.base import ApproximationStrategy, BinModel
 from repro.kmeans import histogram_init, kmeans1d, kmeanspp_init, random_init
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["ClusteringStrategy"]
 
@@ -118,32 +119,44 @@ class ClusteringStrategy(ApproximationStrategy):
 
     def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
-        uniq = np.unique(arr)
-        if uniq.size <= k:
-            # Fewer distinct ratios than bins: every point is representable
-            # exactly, no clustering needed.
-            return BinModel(uniq)
-        sample = self._sample(arr)
-        if self.space != "auto":
-            return self._fit_space(sample, k, error_bound, self.space)
-        # Safeguarded selection: Lloyd minimises L2 inertia, not coverage,
-        # so never accept a clustering that covers fewer candidates than
-        # the equal-width prior it was seeded from.
-        from repro.core.strategies.equal_width import EqualWidthStrategy
+        with get_telemetry().span("strategy.clustering.fit",
+                                  n_ratios=arr.size, k=k,
+                                  bytes_in=arr.nbytes) as sp:
+            uniq = np.unique(arr)
+            if uniq.size <= k:
+                # Fewer distinct ratios than bins: every point is representable
+                # exactly, no clustering needed.
+                sp.set(n_bins=int(uniq.size), space="exact")
+                return BinModel(uniq)
+            sample = self._sample(arr)
+            sp.set(n_sampled=int(sample.size))
+            if self.space != "auto":
+                model = self._fit_space(sample, k, error_bound, self.space)
+                sp.set(n_bins=int(model.representatives.size), space=self.space)
+                return model
+            # Safeguarded selection: Lloyd minimises L2 inertia, not coverage,
+            # so never accept a clustering that covers fewer candidates than
+            # the equal-width prior it was seeded from.
+            from repro.core.strategies.equal_width import EqualWidthStrategy
 
-        def fails(model: BinModel) -> int:
-            return int(np.count_nonzero(
-                np.abs(model.approximate(sample) - sample) >= error_bound
-            ))
+            def fails(model: BinModel) -> int:
+                return int(np.count_nonzero(
+                    np.abs(model.approximate(sample) - sample) >= error_bound
+                ))
 
-        linear = self._fit_space(sample, k, error_bound, "linear")
-        fails_linear = fails(linear)
-        if fails_linear == 0:
-            # Full coverage already -- the common benign case; skip the
-            # variance-stabilised refit entirely.
-            return linear
-        candidates = [linear,
-                      self._fit_space(sample, k, error_bound, "asinh"),
-                      EqualWidthStrategy().fit(sample, k, error_bound)]
-        counts = [fails_linear, fails(candidates[1]), fails(candidates[2])]
-        return candidates[int(np.argmin(counts))]
+            linear = self._fit_space(sample, k, error_bound, "linear")
+            fails_linear = fails(linear)
+            if fails_linear == 0:
+                # Full coverage already -- the common benign case; skip the
+                # variance-stabilised refit entirely.
+                sp.set(n_bins=int(linear.representatives.size), space="linear")
+                return linear
+            candidates = [linear,
+                          self._fit_space(sample, k, error_bound, "asinh"),
+                          EqualWidthStrategy().fit(sample, k, error_bound)]
+            counts = [fails_linear, fails(candidates[1]), fails(candidates[2])]
+            pick = int(np.argmin(counts))
+            model = candidates[pick]
+            sp.set(n_bins=int(model.representatives.size),
+                   space=("linear", "asinh", "equal_width")[pick])
+            return model

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.strategies.base import ApproximationStrategy, BinModel
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["EqualWidthStrategy"]
 
@@ -25,15 +26,20 @@ class EqualWidthStrategy(ApproximationStrategy):
 
     def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
-        lo = float(arr.min())
-        hi = float(arr.max())
-        if lo == hi:
-            return BinModel(np.array([lo]))
-        edges = np.linspace(lo, hi, num=k + 1)
-        centers = 0.5 * (edges[:-1] + edges[1:])
-        # Drop empty bins: they would waste table entries and nearest-
-        # representative assignment is unchanged for occupied regions only
-        # when representatives are exactly the occupied-bin centers.
-        idx = np.clip(((arr - lo) / (hi - lo) * k).astype(np.int64), 0, k - 1)
-        occupied = np.unique(idx)
-        return BinModel(centers[occupied])
+        with get_telemetry().span("strategy.equal_width.fit",
+                                  n_ratios=arr.size, k=k,
+                                  bytes_in=arr.nbytes) as sp:
+            lo = float(arr.min())
+            hi = float(arr.max())
+            if lo == hi:
+                sp.set(n_bins=1)
+                return BinModel(np.array([lo]))
+            edges = np.linspace(lo, hi, num=k + 1)
+            centers = 0.5 * (edges[:-1] + edges[1:])
+            # Drop empty bins: they would waste table entries and nearest-
+            # representative assignment is unchanged for occupied regions only
+            # when representatives are exactly the occupied-bin centers.
+            idx = np.clip(((arr - lo) / (hi - lo) * k).astype(np.int64), 0, k - 1)
+            occupied = np.unique(idx)
+            sp.set(n_bins=int(occupied.size))
+            return BinModel(centers[occupied])

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.strategies.base import ApproximationStrategy, BinModel
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["LogScaleStrategy"]
 
@@ -56,34 +57,40 @@ class LogScaleStrategy(ApproximationStrategy):
 
     def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
-        neg = arr[arr < 0]
-        pos = arr[arr > 0]
-        zero_present = bool((arr == 0).any())
+        with get_telemetry().span("strategy.log_scale.fit",
+                                  n_ratios=arr.size, k=k,
+                                  bytes_in=arr.nbytes) as sp:
+            neg = arr[arr < 0]
+            pos = arr[arr > 0]
+            zero_present = bool((arr == 0).any())
 
-        reps_parts: list[np.ndarray] = []
-        budget = k - (1 if zero_present else 0)
-        if budget < 1:
-            budget = 1
-        n_sides = (neg.size > 0) + (pos.size > 0)
-        if n_sides == 0:
-            # All candidates are exactly zero.
-            return BinModel(np.array([0.0]))
+            reps_parts: list[np.ndarray] = []
+            budget = k - (1 if zero_present else 0)
+            if budget < 1:
+                budget = 1
+            n_sides = (neg.size > 0) + (pos.size > 0)
+            if n_sides == 0:
+                # All candidates are exactly zero.
+                sp.set(n_bins=1)
+                return BinModel(np.array([0.0]))
 
-        if neg.size and pos.size:
-            k_neg = max(1, int(round(budget * neg.size / arr.size)))
-            k_neg = min(k_neg, budget - 1)
-            k_pos = budget - k_neg
-        elif neg.size:
-            k_neg, k_pos = budget, 0
-        else:
-            k_neg, k_pos = 0, budget
+            if neg.size and pos.size:
+                k_neg = max(1, int(round(budget * neg.size / arr.size)))
+                k_neg = min(k_neg, budget - 1)
+                k_pos = budget - k_neg
+            elif neg.size:
+                k_neg, k_pos = budget, 0
+            else:
+                k_neg, k_pos = 0, budget
 
-        if neg.size:
-            reps_parts.append(-_side_representatives(-neg, k_neg, error_bound)[::-1])
-        if zero_present:
-            reps_parts.append(np.array([0.0]))
-        if pos.size:
-            reps_parts.append(_side_representatives(pos, k_pos, error_bound))
+            if neg.size:
+                reps_parts.append(-_side_representatives(-neg, k_neg, error_bound)[::-1])
+            if zero_present:
+                reps_parts.append(np.array([0.0]))
+            if pos.size:
+                reps_parts.append(_side_representatives(pos, k_pos, error_bound))
 
-        reps = np.unique(np.concatenate(reps_parts))
-        return BinModel(reps[: k] if reps.size > k else reps)
+            reps = np.unique(np.concatenate(reps_parts))
+            model = BinModel(reps[: k] if reps.size > k else reps)
+            sp.set(n_bins=int(model.representatives.size))
+            return model

@@ -50,6 +50,7 @@ from repro.io.format import (
     encode_delta_bytes,
     encode_full_bytes,
 )
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["CheckpointFile", "save_chain", "load_chain", "salvage_truncate",
            "WriteHook"]
@@ -238,6 +239,9 @@ class CheckpointFile:
             bytes_truncated=truncated,
             reason=reason,
         )
+        if truncated:
+            get_telemetry().metrics.counter(
+                "io.records_salvaged").inc(obj.salvage.records_kept)
         return obj
 
     def close(self) -> None:
@@ -273,24 +277,29 @@ class CheckpointFile:
         crc = zlib.crc32(frame) & 0xFFFFFFFF
         data = frame + struct.pack("<I", crc)
         start = self._record_ends[-1]
-        try:
-            self._write(data)
-            if self._sync:
-                self._fh.flush()
-                os.fsync(self._fh.fileno())
-        except OSError:
-            # Roll back to the record boundary so a retry appends cleanly
-            # instead of concatenating two half-records.
+        tel = get_telemetry()
+        with tel.span("io.write_record", tag=tag.decode("ascii", "replace"),
+                      bytes_out=len(data), sync=self._sync):
             try:
-                self._fh.flush()
+                self._write(data)
+                if self._sync:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+                    tel.metrics.counter("io.fsync").inc()
             except OSError:
-                pass
-            try:
-                self._fh.truncate(start)
-                self._fh.seek(start)
-            except OSError:
-                pass
-            raise
+                # Roll back to the record boundary so a retry appends cleanly
+                # instead of concatenating two half-records.
+                try:
+                    self._fh.flush()
+                except OSError:
+                    pass
+                try:
+                    self._fh.truncate(start)
+                    self._fh.seek(start)
+                except OSError:
+                    pass
+                raise
+        tel.metrics.counter("io.bytes_written").inc(len(data))
         self.n_records += 1
         self._record_ends.append(start + len(data))
 
@@ -406,6 +415,8 @@ def salvage_truncate(path: str | Path) -> SalvageReport:
             os.fsync(fh.fileno())
     finally:
         fh.close()
+    if truncated:
+        get_telemetry().metrics.counter("io.records_salvaged").inc(kept)
     return SalvageReport(path=str(path), records_kept=kept,
                          records_dropped=1 if truncated else 0,
                          bytes_truncated=truncated, reason=reason)
@@ -435,11 +446,15 @@ def save_chain(path: str | Path, chain: CheckpointChain, *,
                 for enc in chain.deltas:
                     f.write_delta(enc)
 
-    if durable:
-        retry_io(_write_all)
-    else:
-        _write_all()
-    return Path(path).stat().st_size
+    with get_telemetry().span("io.save_chain", records=1 + len(chain.deltas),
+                              durable=durable) as sp:
+        if durable:
+            retry_io(_write_all)
+        else:
+            _write_all()
+        nbytes = Path(path).stat().st_size
+        sp.set(bytes_out=nbytes)
+    return nbytes
 
 
 def _rebuild_chain(full: np.ndarray, deltas: list[EncodedIteration],
@@ -472,31 +487,39 @@ def load_chain(path: str | Path,
     """
     if recover not in (None, "tail"):
         raise ValueError(f"unknown recover mode {recover!r}")
+    tel = get_telemetry()
     if recover is None:
-        with CheckpointFile.open(path) as f:
-            full, deltas = f.read_chain()
-        return _rebuild_chain(full, deltas, config)
+        with tel.span("io.load_chain") as sp:
+            with CheckpointFile.open(path) as f:
+                full, deltas = f.read_chain()
+            sp.set(records=1 + len(deltas),
+                   bytes_in=Path(path).stat().st_size)
+            return _rebuild_chain(full, deltas, config)
 
-    try:
-        f = CheckpointFile.open(path)
-    except FormatError as exc:
-        raise SalvageError(f"{path}: nothing to salvage: {exc}") from exc
-    with f:
+    with tel.span("io.load_chain", recover="tail") as sp:
         try:
-            full, deltas = f.read_chain(strict=False)
+            f = CheckpointFile.open(path)
         except FormatError as exc:
-            if f.valid_end == HEADER_SIZE:
-                # Not even the FULL record survived.
-                raise SalvageError(
-                    f"{path}: nothing to salvage: {exc}") from exc
-            raise
-        file_size = os.fstat(f._fh.fileno()).st_size  # noqa: SLF001
-        truncated = file_size - f.valid_end
-        report = SalvageReport(
-            path=str(path),
-            records_kept=1 + len(deltas),
-            records_dropped=1 if truncated else 0,
-            bytes_truncated=truncated,
-            reason=f.damage[0] if f.damage else None,
-        )
-    return _rebuild_chain(full, deltas, config), report
+            raise SalvageError(f"{path}: nothing to salvage: {exc}") from exc
+        with f:
+            try:
+                full, deltas = f.read_chain(strict=False)
+            except FormatError as exc:
+                if f.valid_end == HEADER_SIZE:
+                    # Not even the FULL record survived.
+                    raise SalvageError(
+                        f"{path}: nothing to salvage: {exc}") from exc
+                raise
+            file_size = os.fstat(f._fh.fileno()).st_size  # noqa: SLF001
+            truncated = file_size - f.valid_end
+            report = SalvageReport(
+                path=str(path),
+                records_kept=1 + len(deltas),
+                records_dropped=1 if truncated else 0,
+                bytes_truncated=truncated,
+                reason=f.damage[0] if f.damage else None,
+            )
+        sp.set(records=report.records_kept, bytes_in=f.valid_end)
+        if truncated:
+            tel.metrics.counter("io.records_salvaged").inc(report.records_kept)
+        return _rebuild_chain(full, deltas, config), report

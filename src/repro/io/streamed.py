@@ -26,6 +26,7 @@ from repro.core.errors import FormatError
 from repro.core.streaming import ChunkRecord, StreamedIteration
 from repro.io.container import CheckpointFile
 from repro.io.durable import atomic_write, retry_io
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["save_streamed", "load_streamed"]
 
@@ -129,18 +130,25 @@ def save_streamed(path: str | Path, streamed: StreamedIteration, *,
         for chunk in streamed.chunks:
             f.write_record(TAG_CHUNK, _chunk_payload(chunk, streamed.nbits))
 
-    if durable:
-        retry_io(_write_all)
-    else:
-        _write_all()
-    return Path(path).stat().st_size
+    with get_telemetry().span("io.save_streamed",
+                              n_chunks=len(streamed.chunks),
+                              durable=durable) as sp:
+        if durable:
+            retry_io(_write_all)
+        else:
+            _write_all()
+        nbytes = Path(path).stat().st_size
+        sp.set(bytes_out=nbytes)
+    return nbytes
 
 
 def load_streamed(path: str | Path) -> StreamedIteration:
     """Read a streamed iteration back (chunks stay separate)."""
     header = None
     chunks: list[ChunkRecord] = []
-    with CheckpointFile.open(path) as f:
+    with get_telemetry().span("io.load_streamed",
+                              bytes_in=Path(path).stat().st_size) as sp, \
+            CheckpointFile.open(path) as f:
         for tag, payload in f.records():
             if tag == TAG_STREAM_HEADER:
                 if header is not None:
@@ -152,6 +160,7 @@ def load_streamed(path: str | Path) -> StreamedIteration:
                 chunks.append(_parse_chunk(payload, header[1]))
             else:
                 raise FormatError(f"unexpected record tag {tag!r}")
+        sp.set(n_chunks=len(chunks))
     if header is None:
         raise FormatError("no stream header record")
     n_points, nbits, zero_reserved, strategy, error_bound, reps = header

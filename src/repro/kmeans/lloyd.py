@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.tracer import get_telemetry
+
 __all__ = ["KMeansResult", "assign1d", "kmeans1d", "kmeans"]
 
 
@@ -33,6 +35,12 @@ class KMeansResult:
         Lloyd iterations executed.
     converged:
         True if centroid movement fell below tolerance before ``max_iter``.
+    inertia_history:
+        Inertia at the end of each Lloyd sweep, ``len == n_iter``.  The
+        trajectory is non-increasing up to floating-point noise; telemetry
+        uses it as the convergence signal ("how many sweeps bought how
+        much"), and it is cheap: the 1-D path derives each entry from the
+        per-cluster moments the update step already computes.
     """
 
     centroids: np.ndarray
@@ -40,6 +48,7 @@ class KMeansResult:
     inertia: float
     n_iter: int
     converged: bool
+    inertia_history: tuple[float, ...] = ()
 
 
 def assign1d(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -59,19 +68,16 @@ def assign1d(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return np.searchsorted(mids, data, side="left").astype(np.int32)
 
 
-def _update1d(data: np.ndarray, labels: np.ndarray, k: int,
-              old: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
-    """(Weighted) mean of each cluster; empty clusters keep their centroid."""
+def _moments(data: np.ndarray, labels: np.ndarray, k: int,
+             weights: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster (weighted) counts and value sums under ``labels``."""
     if weights is None:
         counts = np.bincount(labels, minlength=k).astype(np.float64)
         sums = np.bincount(labels, weights=data, minlength=k)
     else:
         counts = np.bincount(labels, weights=weights, minlength=k)
         sums = np.bincount(labels, weights=data * weights, minlength=k)
-    new = old.copy()
-    nonempty = counts > 0
-    new[nonempty] = sums[nonempty] / counts[nonempty]
-    return new
+    return counts, sums
 
 
 def kmeans1d(
@@ -119,23 +125,46 @@ def kmeans1d(
     k = cent.size
     if k < 1:
         raise ValueError("need at least one centroid")
-    span = float(arr.max() - arr.min())
-    move_tol = tol * (span if span > 0 else 1.0)
+    tel = get_telemetry()
+    with tel.span("kmeans.lloyd", n_points=arr.size, k=k,
+                  bytes_in=arr.nbytes) as tspan:
+        span = float(arr.max() - arr.min())
+        move_tol = tol * (span if span > 0 else 1.0)
 
-    labels = assign1d(arr, cent)
-    n_iter = 0
-    converged = False
-    for n_iter in range(1, max_iter + 1):
-        new = np.sort(_update1d(arr, labels, k, cent, weights=w))
-        move = float(np.max(np.abs(new - cent))) if k else 0.0
-        cent = new
+        # sum w x^2 once; with the per-cluster moments (n_c, S_c) the
+        # inertia after any sweep is sumsq - 2 c.S + n.c^2, so the history
+        # costs two k-sized dot products per sweep instead of an O(n) pass.
+        sumsq = float(np.sum(arr * arr if w is None else arr * arr * w))
         labels = assign1d(arr, cent)
-        if move <= move_tol:
-            converged = True
-            break
-    sq = (arr - cent[labels]) ** 2
-    inertia = float(np.sum(sq if w is None else sq * w))
-    return KMeansResult(cent, labels, inertia, n_iter, converged)
+        counts, sums = _moments(arr, labels, k, w)
+        history: list[float] = []
+        n_iter = 0
+        converged = False
+        for n_iter in range(1, max_iter + 1):
+            new = cent.copy()
+            nonempty = counts > 0
+            new[nonempty] = sums[nonempty] / counts[nonempty]
+            new = np.sort(new)
+            move = float(np.max(np.abs(new - cent))) if k else 0.0
+            cent = new
+            labels = assign1d(arr, cent)
+            counts, sums = _moments(arr, labels, k, w)
+            history.append(max(
+                sumsq - 2.0 * float(cent @ sums) + float(counts @ (cent * cent)),
+                0.0,
+            ))
+            if move <= move_tol:
+                converged = True
+                break
+        sq = (arr - cent[labels]) ** 2
+        inertia = float(np.sum(sq if w is None else sq * w))
+        tspan.set(n_iter=n_iter, converged=converged, inertia=inertia)
+    tel.metrics.histogram("kmeans.sweeps",
+                          buckets=(1, 2, 4, 8, 16, 32, 64)).observe(n_iter)
+    if converged:
+        tel.metrics.counter("kmeans.converged_runs").inc()
+    return KMeansResult(cent, labels, inertia, n_iter, converged,
+                        inertia_history=tuple(history))
 
 
 def kmeans(
@@ -169,20 +198,26 @@ def kmeans(
     labels = np.zeros(arr.shape[0], dtype=np.int32)
     n_iter = 0
     converged = False
-    for n_iter in range(1, max_iter + 1):
-        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; drop the x term for argmin.
-        d2 = -2.0 * arr @ cent.T + np.sum(cent * cent, axis=1)[None, :]
-        labels = np.argmin(d2, axis=1).astype(np.int32)
-        new = cent.copy()
-        for j in range(k):
-            members = labels == j
-            if members.any():
-                new[j] = arr[members].mean(axis=0)
-        move = float(np.max(np.abs(new - cent)))
-        cent = new
-        if move <= move_tol:
-            converged = True
-            break
-    diffs = arr - cent[labels]
-    inertia = float(np.sum(diffs * diffs))
-    return KMeansResult(cent, labels, inertia, n_iter, converged)
+    history: list[float] = []
+    with get_telemetry().span("kmeans.nd", n_points=arr.shape[0], k=k,
+                              d=arr.shape[1], bytes_in=arr.nbytes):
+        for n_iter in range(1, max_iter + 1):
+            # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; drop the x term for argmin.
+            d2 = -2.0 * arr @ cent.T + np.sum(cent * cent, axis=1)[None, :]
+            labels = np.argmin(d2, axis=1).astype(np.int32)
+            new = cent.copy()
+            for j in range(k):
+                members = labels == j
+                if members.any():
+                    new[j] = arr[members].mean(axis=0)
+            move = float(np.max(np.abs(new - cent)))
+            cent = new
+            sweep_diffs = arr - cent[labels]
+            history.append(float(np.sum(sweep_diffs * sweep_diffs)))
+            if move <= move_tol:
+                converged = True
+                break
+        diffs = arr - cent[labels]
+        inertia = float(np.sum(diffs * diffs))
+    return KMeansResult(cent, labels, inertia, n_iter, converged,
+                        inertia_history=tuple(history))

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.kmeans.lloyd import KMeansResult, assign1d
 from repro.parallel.comm import Comm, SerialComm
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["parallel_kmeans1d"]
 
@@ -63,29 +64,49 @@ def parallel_kmeans1d(
     if n_global == 0:
         raise ValueError("global data set is empty")
 
-    # Global data span for the relative movement tolerance.
-    local_lo = float(arr.min()) if arr.size else np.inf
-    local_hi = float(arr.max()) if arr.size else -np.inf
-    lo = comm.allreduce(local_lo, op=min)
-    hi = comm.allreduce(local_hi, op=max)
-    span = hi - lo
-    move_tol = tol * (span if span > 0 else 1.0)
+    tel = get_telemetry()
+    with tel.span("kmeans.parallel", n_points=int(n_global), k=k,
+                  n_local=arr.size) as tspan:
+        # Global data span for the relative movement tolerance.
+        local_lo = float(arr.min()) if arr.size else np.inf
+        local_hi = float(arr.max()) if arr.size else -np.inf
+        lo = comm.allreduce(local_lo, op=min)
+        hi = comm.allreduce(local_hi, op=max)
+        span = hi - lo
+        move_tol = tol * (span if span > 0 else 1.0)
 
-    labels = assign1d(arr, cent) if arr.size else np.empty(0, dtype=np.int32)
-    n_iter = 0
-    converged = False
-    for n_iter in range(1, max_iter + 1):
+        # Like kmeans1d, the global per-sweep inertia falls out of the
+        # allreduced moments: sumsq - 2 c.S + n.c^2.  Reducing the moments
+        # *after* assignment (and reusing them for the next update) keeps
+        # it at one allreduce per sweep.
+        local_sumsq = float(np.sum(arr * arr)) if arr.size else 0.0
+        sumsq = comm.allreduce(local_sumsq)
+        labels = assign1d(arr, cent) if arr.size else np.empty(0, dtype=np.int32)
         sums = comm.allreduce(_local_sums(arr, labels, k))
-        new = cent.copy()
-        nonempty = sums[:, 1] > 0
-        new[nonempty] = sums[nonempty, 0] / sums[nonempty, 1]
-        new = np.sort(new)
-        move = float(np.max(np.abs(new - cent)))
-        cent = new
-        labels = assign1d(arr, cent) if arr.size else labels
-        if move <= move_tol:
-            converged = True
-            break
-    local_inertia = float(np.sum((arr - cent[labels]) ** 2)) if arr.size else 0.0
-    inertia = comm.allreduce(local_inertia)
-    return KMeansResult(cent, labels, inertia, n_iter, converged)
+        history: list[float] = []
+        n_iter = 0
+        converged = False
+        for n_iter in range(1, max_iter + 1):
+            new = cent.copy()
+            nonempty = sums[:, 1] > 0
+            new[nonempty] = sums[nonempty, 0] / sums[nonempty, 1]
+            new = np.sort(new)
+            move = float(np.max(np.abs(new - cent)))
+            cent = new
+            labels = assign1d(arr, cent) if arr.size else labels
+            sums = comm.allreduce(_local_sums(arr, labels, k))
+            history.append(max(
+                sumsq - 2.0 * float(cent @ sums[:, 0])
+                + float(sums[:, 1] @ (cent * cent)),
+                0.0,
+            ))
+            if move <= move_tol:
+                converged = True
+                break
+        local_inertia = float(np.sum((arr - cent[labels]) ** 2)) if arr.size else 0.0
+        inertia = comm.allreduce(local_inertia)
+        tspan.set(n_iter=n_iter, converged=converged, inertia=inertia)
+    tel.metrics.histogram("kmeans.sweeps",
+                          buckets=(1, 2, 4, 8, 16, 32, 64)).observe(n_iter)
+    return KMeansResult(cent, labels, inertia, n_iter, converged,
+                        inertia_history=tuple(history))

@@ -14,6 +14,7 @@ from repro.core.varset import VariableSet
 from repro.io.container import CheckpointFile, WriteHook
 from repro.io.durable import retry_io
 from repro.simulations.base import Simulation
+from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["RestartManager", "RestartExperiment", "RestartRecord"]
 
@@ -85,27 +86,30 @@ class RestartManager(VariableSet):
         if self._chains is None:
             raise RuntimeError("no checkpoints recorded yet")
         appended = 0
-        try:
-            for v in self.variables:
-                chain = self._chains[v]
-                writer = self._writers.get(v)
-                if writer is None:
-                    writer = self._open_writer(v, path_fn, write_hook, sync)
-                    self._writers[v] = writer
-                if writer.n_records == 0:
-                    full = chain.full_checkpoint
-                    retry_io(lambda w=writer, d=full: w.write_full(d))
-                    appended += 1
-                target = 1 + len(chain.deltas)
-                while writer.n_records < target:
-                    enc = chain.deltas[writer.n_records - 1]
-                    retry_io(lambda w=writer, e=enc: w.write_delta(e))
-                    appended += 1
-        except BaseException:
-            # The writer that failed may hold a torn record; every handle
-            # is closed so recovery re-scans the files from scratch.
-            self.close_writers()
-            raise
+        with get_telemetry().span("restart.persist_incremental",
+                                  n_variables=len(self.variables)) as sp:
+            try:
+                for v in self.variables:
+                    chain = self._chains[v]
+                    writer = self._writers.get(v)
+                    if writer is None:
+                        writer = self._open_writer(v, path_fn, write_hook, sync)
+                        self._writers[v] = writer
+                    if writer.n_records == 0:
+                        full = chain.full_checkpoint
+                        retry_io(lambda w=writer, d=full: w.write_full(d))
+                        appended += 1
+                    target = 1 + len(chain.deltas)
+                    while writer.n_records < target:
+                        enc = chain.deltas[writer.n_records - 1]
+                        retry_io(lambda w=writer, e=enc: w.write_delta(e))
+                        appended += 1
+            except BaseException:
+                # The writer that failed may hold a torn record; every handle
+                # is closed so recovery re-scans the files from scratch.
+                self.close_writers()
+                raise
+            sp.set(records_appended=appended)
         return appended
 
     def _open_writer(self, variable: str,

@@ -1,0 +1,68 @@
+"""Byte accounting for encoded iterations and container records.
+
+The serialised size of a NUMARCK record is fully determined by its
+metadata (point count, index width, exact-value count, table size), so
+span attributes and CLI size breakdowns can report *exact* on-disk byte
+counts without serialising anything.  The arithmetic here mirrors
+:mod:`repro.io.format` field for field; ``tests/test_telemetry.py``
+asserts the two never drift apart.
+
+This module must stay free of other ``repro`` imports: it is loaded by
+``repro.telemetry.__init__``, which the instrumented hot paths (bitpack,
+kmeans, io) import in turn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FRAME_OVERHEAD",
+    "delta_payload_nbytes",
+    "full_payload_nbytes",
+    "record_nbytes",
+    "raw_nbytes",
+]
+
+#: per-record framing cost in :mod:`repro.io.container`:
+#: tag(4) + payload length(8) + CRC32(4).
+FRAME_OVERHEAD = 16
+
+
+def delta_payload_nbytes(enc) -> int:
+    """Exact serialised payload size of one encoded iteration.
+
+    ``enc`` is an :class:`~repro.core.encoder.EncodedIteration` (annotated
+    loosely to keep this module import-light for the tracer's hot path).
+    """
+    n = enc.n_points
+    exact_width = 4 if enc.value_bits == 32 else 8
+    head = (
+        3  # nbits, flags, strategy length
+        + len(enc.strategy)
+        + 8  # error bound
+        + 1 + 8 * len(enc.shape)  # ndim + dims
+    )
+    body = (
+        4 + 8 * int(enc.representatives.size)  # table
+        + 8 + exact_width * int(enc.exact_values.size)  # exact values
+        + (n + 7) // 8  # incompressibility bitmap
+        + (n * enc.nbits + 7) // 8  # packed indices (bitpack.packed_nbytes)
+    )
+    return head + body
+
+
+def full_payload_nbytes(data: np.ndarray) -> int:
+    """Exact serialised payload size of a full-checkpoint record."""
+    arr = np.asarray(data)
+    return 1 + 8 * arr.ndim + 8 * arr.size
+
+
+def record_nbytes(payload_nbytes: int) -> int:
+    """On-disk size of a framed record holding ``payload_nbytes`` bytes."""
+    return payload_nbytes + FRAME_OVERHEAD
+
+
+def raw_nbytes(n_points: int, value_bits: int = 64) -> int:
+    """Size of the uncompressed iteration the record replaces."""
+    return n_points * (value_bits // 8)

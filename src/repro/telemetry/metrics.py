@@ -1,0 +1,187 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately small: NUMARCK's interesting numbers are a
+handful of monotone totals (bytes written, ``fsync`` calls, records
+salvaged), point-in-time values (last incompressible fraction) and shape
+statistics (Lloyd sweeps to convergence, per-iteration gamma).  All
+instruments are get-or-create by name so instrumentation sites never need
+to coordinate registration::
+
+    reg = MetricsRegistry()
+    reg.counter("io.bytes_written").inc(4096)
+    reg.histogram("kmeans.sweeps", buckets=(1, 2, 4, 8, 16, 32)).observe(5)
+    reg.snapshot()          # plain dicts, JSON-ready
+
+A :class:`NullMetricsRegistry` mirrors the API with no-ops for the
+disabled path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram buckets: powers of four spanning "a few" to "millions"
+#: -- wide enough for sweep counts, byte sizes and point counts alike.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+class Counter:
+    """Monotone accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count for mean recovery.
+
+    ``buckets`` are upper bounds of each bucket; observations above the
+    last bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs buckets")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: buckets must increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe, name-keyed collection of instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, buckets)
+            return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "sum": h.total,
+                        "count": h.count,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+
+class _NullInstrument:
+    """One object answering for disabled counters, gauges and histograms."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    total = 0.0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Registry whose instruments discard everything."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,121 @@
+"""Stage-breakdown tables from trace files.
+
+Turns a JSONL trace into the paper-style timing table (NUMARCK Table 3 /
+Yuan et al.'s stage breakdown): one row per span name with call count,
+total and mean wall time, CPU time, share of traced wall time, and byte
+throughput where the spans carried ``bytes_in``/``bytes_out`` attributes.
+Formatting goes through :func:`repro.analysis.report.format_table` so CLI
+output, benchmark logs and EXPERIMENTS.md all share one look.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["stage_summary", "stage_table", "metrics_table", "trace_totals"]
+
+
+def _format_table(headers, rows, title=None):
+    # Imported lazily: repro.analysis pulls in repro.core, whose modules
+    # import repro.telemetry -- a module-level import here would make the
+    # cycle load-order sensitive.
+    from repro.analysis.report import format_table
+
+    return format_table(headers, rows, title=title)
+
+
+def _self_wall(span: Mapping[str, Any],
+               child_wall: Mapping[Any, float]) -> float:
+    """Wall time not covered by child spans (floored at 0 for clock skew)."""
+    return max(float(span["wall_s"]) - child_wall.get(span["id"], 0.0), 0.0)
+
+
+def stage_summary(spans: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate spans by name.
+
+    Returns one dict per stage, ordered by descending total wall time,
+    with keys ``stage``, ``calls``, ``wall_s``, ``self_s`` (wall time not
+    inside child spans), ``cpu_s``, ``share`` (of root wall time),
+    ``bytes_in`` and ``bytes_out``.
+    """
+    child_wall: dict[Any, float] = {}
+    for s in spans:
+        parent = s.get("parent")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(s["wall_s"])
+
+    root_wall = sum(float(s["wall_s"]) for s in spans
+                    if s.get("parent") is None)
+    stages: dict[str, dict[str, Any]] = {}
+    for s in spans:
+        agg = stages.setdefault(s["name"], {
+            "stage": s["name"], "calls": 0, "wall_s": 0.0, "self_s": 0.0,
+            "cpu_s": 0.0, "bytes_in": 0, "bytes_out": 0,
+        })
+        agg["calls"] += 1
+        agg["wall_s"] += float(s["wall_s"])
+        agg["self_s"] += _self_wall(s, child_wall)
+        agg["cpu_s"] += float(s.get("cpu_s", 0.0))
+        attrs = s.get("attrs") or {}
+        for key in ("bytes_in", "bytes_out"):
+            value = attrs.get(key)
+            if isinstance(value, (int, float)):
+                agg[key] += int(value)
+    for agg in stages.values():
+        agg["share"] = agg["wall_s"] / root_wall if root_wall > 0 else 0.0
+    return sorted(stages.values(), key=lambda a: -a["wall_s"])
+
+
+def stage_table(spans: Sequence[Mapping[str, Any]],
+                title: str | None = "stage breakdown") -> str:
+    """Render :func:`stage_summary` as a fixed-width table."""
+    summary = stage_summary(spans)
+    rows = []
+    for agg in summary:
+        mb_out = agg["bytes_out"] / 1e6
+        rows.append([
+            agg["stage"],
+            agg["calls"],
+            f"{agg['wall_s'] * 1e3:.2f}",
+            f"{agg['self_s'] * 1e3:.2f}",
+            f"{agg['cpu_s'] * 1e3:.2f}",
+            f"{agg['share']:.1%}",
+            f"{agg['bytes_in'] / 1e6:.2f}",
+            f"{mb_out:.2f}",
+        ])
+    return _format_table(
+        ["stage", "calls", "wall ms", "self ms", "cpu ms", "share",
+         "MB in", "MB out"],
+        rows,
+        title=title,
+    )
+
+
+def metrics_table(snapshot: Mapping[str, Any],
+                  title: str | None = "metrics") -> str:
+    """Render a metrics snapshot (counters/gauges/histogram means)."""
+    rows: list[list[object]] = []
+    for name, value in (snapshot.get("counters") or {}).items():
+        rows.append([name, "counter", f"{value:g}"])
+    for name, value in (snapshot.get("gauges") or {}).items():
+        rows.append([name, "gauge", f"{value:g}"])
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        count = hist.get("count", 0)
+        mean = hist.get("sum", 0.0) / count if count else 0.0
+        rows.append([name, "histogram", f"n={count} mean={mean:g}"])
+    if not rows:
+        return f"{title}: (none)" if title else "(none)"
+    return _format_table(["metric", "kind", "value"], rows, title=title)
+
+
+def trace_totals(spans: Sequence[Mapping[str, Any]]) -> dict[str, float]:
+    """Root-level totals: span count, traced wall seconds, bytes out."""
+    root_wall = sum(float(s["wall_s"]) for s in spans
+                    if s.get("parent") is None)
+    bytes_out = 0
+    for s in spans:
+        value = (s.get("attrs") or {}).get("bytes_out")
+        if isinstance(value, (int, float)):
+            bytes_out += int(value)
+    return {"spans": float(len(spans)), "root_wall_s": root_wall,
+            "bytes_out": float(bytes_out)}

@@ -1,0 +1,131 @@
+"""Append-only JSONL trace persistence.
+
+One JSON object per line, written with the same durability discipline as
+the checkpoint store (:mod:`repro.io.durable`): lines are buffered and
+flushed in batches, ``flush`` can ``fsync``, transient ``OSError``\\ s are
+retried with bounded backoff, and -- because a crash can tear at most the
+line being written -- :func:`read_trace` salvages a torn trailing line
+instead of failing the whole trace.  A trace file can therefore be
+appended to by successive runs and still parse after any of them died
+mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JsonlSink", "read_trace", "read_spans"]
+
+
+class JsonlSink:
+    """Buffered append-only JSONL writer.
+
+    Parameters
+    ----------
+    path:
+        Target file; parent directories are created on first write.
+    append:
+        Keep existing lines (default).  ``False`` truncates first, for
+        one-shot exports.
+    sync:
+        ``fsync`` on every flush (default flushes to the OS only; the
+        trace is diagnostic data, not the checkpoint of record).
+    flush_every:
+        Buffered line count that triggers an automatic flush.
+    """
+
+    def __init__(self, path: str | Path, *, append: bool = True,
+                 sync: bool = False, flush_every: int = 128) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self._append = append
+        self._sync = sync
+        self._flush_every = flush_every
+        self._buffer: list[str] = []
+        self._fh = None
+        self.lines_written = 0
+
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab" if self._append else "wb")
+        return self._fh
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Queue one record; flushes automatically every ``flush_every``."""
+        self._buffer.append(json.dumps(record, separators=(",", ":"),
+                                       default=str))
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines out (retrying transient errors)."""
+        if not self._buffer:
+            return
+        # Imported lazily: repro.io pulls in the whole core package, which
+        # itself imports repro.telemetry -- a module-level import here
+        # would make that cycle load-order sensitive.
+        from repro.io.durable import retry_io
+
+        data = ("\n".join(self._buffer) + "\n").encode("utf-8")
+        n_lines = len(self._buffer)
+        fh = self._open()
+
+        def _write() -> None:
+            fh.write(data)
+            fh.flush()
+            if self._sync:
+                os.fsync(fh.fileno())
+
+        retry_io(_write)
+        self.lines_written += n_lines
+        self._buffer.clear()
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        finally:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace; a torn *final* line is dropped, not fatal.
+
+    Corrupt lines before the last one raise ``ValueError`` -- like the
+    checkpoint container, damage followed by intact data means the file
+    was mangled, not interrupted.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().split("\n")
+    # A trailing newline leaves one empty final element; drop it.
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                break  # torn tail from an interrupted append
+            raise ValueError(
+                f"{path}: corrupt trace line {i + 1}: {exc}") from exc
+    return records
+
+
+def read_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Just the span records of a trace (see :func:`read_trace`)."""
+    return [r for r in read_trace(path) if r.get("type") == "span"]

@@ -1,4 +1,9 @@
-"""CLI tests (driving main() directly)."""
+"""CLI tests (driving main() directly, plus subprocess exit-code checks)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -94,3 +99,70 @@ class TestErrors:
         rc = main(["extract", chain, "-i", "7",
                    "-o", str(tmp_path / "x.npy")])
         assert rc == 1
+
+
+def _run_cli(*args, env_extra=None):
+    """Run ``python -m repro ...`` as a real subprocess.
+
+    Exit codes flow through ``raise SystemExit(main())``, so this checks
+    the actual process status an operator's shell script would see.
+    """
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+class TestSubprocessExitCodes:
+    """verify/repair drive shell pipelines; pin their process exit codes."""
+
+    @pytest.fixture
+    def chain(self, tmp_path, arrays):
+        path = str(tmp_path / "c.nmk")
+        assert main(["init", path, arrays[0]]) == 0
+        assert main(["append", path, arrays[1]]) == 0
+        return path
+
+    def test_verify_clean_exits_zero(self, chain):
+        proc = _run_cli("verify", chain)
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_verify_damaged_exits_one(self, chain):
+        with open(chain, "r+b") as fh:
+            fh.seek(-3, os.SEEK_END)
+            fh.write(b"\xff\xff\xff")
+        proc = _run_cli("verify", chain)
+        assert proc.returncode == 1
+        assert "DAMAGED" in proc.stderr
+
+    def test_verify_missing_file_exits_one(self, tmp_path):
+        proc = _run_cli("verify", str(tmp_path / "nope.nmk"))
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+
+    def test_repair_then_verify_recovers(self, chain, tmp_path):
+        with open(chain, "r+b") as fh:
+            fh.seek(-3, os.SEEK_END)
+            fh.write(b"\xff\xff\xff")
+        proc = _run_cli("repair", chain)
+        assert proc.returncode == 0
+        assert "kept" in proc.stdout
+        assert Path(f"{chain}.bak").exists()
+        assert _run_cli("verify", chain).returncode == 0
+
+    def test_repair_clean_file_is_noop(self, chain):
+        proc = _run_cli("repair", chain)
+        assert proc.returncode == 0
+        assert "already clean" in proc.stdout
+        assert not Path(f"{chain}.bak").exists()
+
+    def test_repair_missing_file_exits_one(self, tmp_path):
+        proc = _run_cli("repair", str(tmp_path / "nope.nmk"))
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr

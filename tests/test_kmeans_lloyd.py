@@ -125,3 +125,64 @@ def test_property_inertia_and_labels(seed, k, n):
     assert 0 <= res.labels.min() and res.labels.max() < res.centroids.size
     sse = float(np.sum((data - res.centroids[res.labels]) ** 2))
     assert res.inertia == pytest.approx(sse, rel=1e-9, abs=1e-12)
+
+
+class TestInertiaHistory:
+    def test_length_matches_n_iter(self, rng):
+        data = rng.normal(size=400)
+        res = kmeans1d(data, histogram_init(data, 8))
+        assert len(res.inertia_history) == res.n_iter
+
+    def test_last_entry_is_final_inertia(self, rng):
+        data = rng.normal(size=400)
+        res = kmeans1d(data, histogram_init(data, 8))
+        assert res.inertia_history[-1] == pytest.approx(res.inertia, rel=1e-9)
+
+    def test_monotone_non_increasing(self, rng):
+        data = rng.uniform(-5, 5, 1000)
+        res = kmeans1d(data, histogram_init(data, 16), max_iter=50)
+        hist = np.asarray(res.inertia_history)
+        # Lloyd never increases the objective; allow float noise only.
+        assert np.all(np.diff(hist) <= 1e-9 * np.maximum(hist[:-1], 1.0))
+
+    def test_matches_direct_sse_each_sweep(self, rng):
+        # Re-run Lloyd by hand and compare the moments-identity history
+        # against a direct SSE at every sweep.
+        data = rng.normal(size=300)
+        init = histogram_init(data, 6)
+        res = kmeans1d(data, init, max_iter=50)
+        cent = np.sort(np.asarray(init, dtype=np.float64))
+        for sweep, recorded in enumerate(res.inertia_history, start=1):
+            labels = assign1d(data, cent)
+            counts = np.bincount(labels, minlength=cent.size).astype(float)
+            sums = np.bincount(labels, weights=data, minlength=cent.size)
+            new = cent.copy()
+            nonempty = counts > 0
+            new[nonempty] = sums[nonempty] / counts[nonempty]
+            cent = np.sort(new)
+            labels = assign1d(data, cent)
+            sse = float(np.sum((data - cent[labels]) ** 2))
+            assert recorded == pytest.approx(sse, rel=1e-9, abs=1e-12)
+
+    def test_weighted_history(self, rng):
+        data = rng.normal(size=200)
+        w = rng.uniform(0.5, 2.0, 200)
+        res = kmeans1d(data, histogram_init(data, 5), weights=w)
+        assert len(res.inertia_history) == res.n_iter
+        assert res.inertia_history[-1] == pytest.approx(res.inertia, rel=1e-9)
+
+    def test_nd_history(self, rng):
+        data = rng.normal(size=(300, 2))
+        init = data[rng.choice(300, 4, replace=False)]
+        res = kmeans(data, init)
+        assert len(res.inertia_history) == res.n_iter
+        assert res.inertia_history[-1] == pytest.approx(res.inertia, rel=1e-9)
+
+    def test_parallel_history_matches_serial(self, rng):
+        from repro.kmeans.parallel import parallel_kmeans1d
+
+        data = rng.normal(size=500)
+        init = histogram_init(data, 7)
+        serial = kmeans1d(data, init)
+        par = parallel_kmeans1d(None, data, init)
+        assert par.inertia_history == pytest.approx(serial.inertia_history)

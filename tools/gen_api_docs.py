@@ -32,6 +32,7 @@ PACKAGES = [
     "repro.restart",
     "repro.analysis",
     "repro.resilience",
+    "repro.telemetry",
 ]
 
 
@@ -117,6 +118,39 @@ The checkpoint store is crash-consistent by construction:
 """
 
 
+OBSERVABILITY_NOTES = """\
+## Observability
+
+Every stage of the pipeline is instrumented through `repro.telemetry`:
+
+* **Spans.** Hot paths open nested, attributed spans —
+  `pipeline.compress` → `encode` → `encode.fit` →
+  `strategy.clustering.fit` → `kmeans.lloyd`, plus `bitpack.pack`,
+  `io.write_record`, `io.save_chain` / `io.load_chain`,
+  `io.save_streamed` and `restart.persist_incremental` — each carrying
+  wall/CPU time and byte counts (`bytes_in` / `bytes_out`).
+* **Metrics.** Counters (`io.bytes_written`, `io.fsync`,
+  `io.records_salvaged`, `bitpack.bytes_packed`,
+  `kmeans.converged_runs`), and histograms (`kmeans.sweeps`,
+  `encode.incompressible_fraction`).
+* **Zero cost when off.** The ambient default is a shared no-op
+  telemetry object; untraced runs stay within noise of uninstrumented
+  code (enforced by `benchmarks/test_throughput.py`).
+* **Enabling.** Scoped: `with telemetry.use(Telemetry()) as tel: ...;
+  tel.export("trace.jsonl")`. Process-wide with no code changes:
+  `NUMARCK_TRACE=trace.jsonl python your_script.py`.
+* **Trace format.** Append-only JSONL (one span per line plus a final
+  metrics snapshot), written with the same retry/torn-tail discipline
+  as the checkpoint store; `read_trace` drops a torn final line.
+* **Reporting.** `repro stats trace.jsonl` renders the paper-style
+  stage-breakdown table (calls, wall/self/CPU ms, share, MB in/out)
+  and a metrics table; the same tables are available programmatically
+  via `repro.telemetry.stage_table` / `metrics_table`. Exact on-disk
+  byte accounting (`delta_payload_nbytes` et al.) backs the size
+  figures in `repro inspect`.
+"""
+
+
 def generate() -> str:
     out: list[str] = [
         "# API reference",
@@ -124,6 +158,7 @@ def generate() -> str:
         "Generated by `python tools/gen_api_docs.py` — do not edit by hand.",
         "",
         DURABILITY_NOTES,
+        OBSERVABILITY_NOTES,
     ]
     for pkg_name in PACKAGES:
         pkg = importlib.import_module(pkg_name)
