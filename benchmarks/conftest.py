@@ -14,6 +14,9 @@ are iteration-count independent.
 
 from __future__ import annotations
 
+import json
+import time
+
 import numpy as np
 import pytest
 
@@ -27,13 +30,69 @@ FLASH_TABLE_VARS = ("dens", "pres", "temp", "ener", "eint")
 CMIP_TABLE_VARS = ("rlus", "mrsos", "mrro", "rlds", "mc")
 
 
-@pytest.fixture
-def report(capsys):
-    """Print straight to the terminal, bypassing capture."""
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="PATH",
+        help="also write every table emitted through the `report` fixture "
+             "as structured JSON (the observatory's trajectory format), "
+             "next to bench_output.txt")
 
-    def _report(text: str) -> None:
+
+def pytest_configure(config):
+    if config.getoption("--bench-json", default=None):
+        config._bench_json_tables = []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    tables = getattr(session.config, "_bench_json_tables", None)
+    if not path or tables is None:
+        return
+    from repro.bench import env_fingerprint
+
+    doc = {
+        "schema": "numarck-bench-tables/1",
+        "created_unix": time.time(),
+        "env": env_fingerprint(),
+        "tables": tables,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _jsonable(value):
+    """Plain-python copy of a table cell (numpy scalars included)."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print straight to the terminal, bypassing capture.
+
+    Benchmarks that produce paper-table data pass the raw rows alongside
+    the rendered text (``report(text, name=..., headers=..., rows=...)``);
+    under ``--bench-json PATH`` those rows are collected and written as
+    one structured JSON document at session end.
+    """
+    store = getattr(request.config, "_bench_json_tables", None)
+
+    def _report(text: str, *, name: str | None = None,
+                headers: list[str] | None = None,
+                rows: list[list] | None = None) -> None:
         with capsys.disabled():
             print("\n" + text)
+        if store is not None:
+            store.append({
+                "test": request.node.nodeid,
+                "name": name,
+                "headers": headers,
+                "rows": [[_jsonable(c) for c in row] for row in rows]
+                        if rows is not None else None,
+                "text": text,
+            })
 
     return _report
 

@@ -39,11 +39,11 @@ def test_fig4_cmip_performance(benchmark, report):
         for strat in STRATEGIES:
             gamma, mean_err = results[var][strat]
             rows.append([var, strat, gamma * 100, mean_err * 100])
+    headers = ["variable", "strategy", "incompressible %", "mean error %"]
     report(format_table(
-        ["variable", "strategy", "incompressible %", "mean error %"],
-        rows, precision=4,
+        headers, rows, precision=4,
         title=f"Fig. 4: CMIP5, E=0.1 %, B=8, {N_ITERS} iterations (means)",
-    ))
+    ), name="fig4_cmip_performance", headers=headers, rows=rows)
 
     # Paper shape: clustering <= equal-width incompressible ratio on every
     # variable; mean error far below the bound.

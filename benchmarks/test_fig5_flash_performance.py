@@ -37,11 +37,11 @@ def test_fig5_flash_performance(benchmark, report, flash_trajectory):
         for strat in STRATEGIES:
             gamma, mean_err = results[var][strat]
             rows.append([var, strat, gamma * 100, mean_err * 100])
+    headers = ["variable", "strategy", "incompressible %", "mean error %"]
     report(format_table(
-        ["variable", "strategy", "incompressible %", "mean error %"],
-        rows, precision=4,
+        headers, rows, precision=4,
         title="Fig. 5: FLASH (Sedov), E=0.1 %, B=8 (means over iterations)",
-    ))
+    ), name="fig5_flash_performance", headers=headers, rows=rows)
 
     for var in FLASH_TABLE_VARS:
         for strat in STRATEGIES:

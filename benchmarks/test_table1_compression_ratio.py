@@ -62,10 +62,11 @@ def test_table1_compression_ratio(benchmark, report, flash_trajectory):
             f"{isa[0]:.3f}+-{isa[1]:.3f}",
             f"{num[0]:.3f}+-{num[1]:.3f}",
         ])
+    headers = ["dataset", "B-Splines", "ISABELA", "NUMARCK"]
     report(format_table(
-        ["dataset", "B-Splines", "ISABELA", "NUMARCK"], table,
+        headers, table,
         title="Table I: compression ratio (%) on ten simulation datasets",
-    ))
+    ), name="table1_compression_ratio", headers=headers, rows=table)
 
     wins = 0
     for var, (bs, isa, num) in results.items():

@@ -4,11 +4,15 @@ Runs the hydro solver for a few checkpoints, compresses every variable
 under an explicit Telemetry object, persists the chains, and prints the
 paper-style stage-breakdown table (calls, wall/self/CPU time, share of
 traced time, bytes in/out per stage) plus the metrics the run collected.
+Then compresses the same iteration pair twice -- equal-width bins vs
+k-means -- and *diffs* the two traces, attributing the wall-time delta
+between the strategies to the specific stages that changed.
 
 The same information is available for *any* script without code changes:
 
     NUMARCK_TRACE=trace.jsonl python examples/flash_checkpointing.py
     python -m repro stats trace.jsonl
+    python -m repro stats --diff before.jsonl after.jsonl --top 5
 
 Run:  python examples/observability.py
 """
@@ -18,11 +22,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import NumarckConfig
+from repro.core import NumarckCompressor, NumarckConfig
 from repro.io import load_chain
 from repro.restart import RestartManager
 from repro.simulations.flash import FLASH_VARIABLES, FlashSimulation
-from repro.telemetry import Telemetry, metrics_table, stage_table, use
+from repro.telemetry import (
+    Telemetry,
+    critical_path,
+    diff_table,
+    diff_traces,
+    metrics_table,
+    stage_table,
+    use,
+)
 
 N_CHECKPOINTS = 4
 
@@ -65,3 +77,35 @@ trace = workdir / "trace.jsonl"
 n = tel.export(trace)
 print(f"\n{n} trace records exported to {trace}")
 print(f"inspect them any time with: python -m repro stats {trace}")
+
+# -- two-run trace diff: equal-width vs k-means --------------------------
+# Compress the same iteration pair under each strategy, then attribute
+# the wall-time difference to stages.  Self times partition a trace, so
+# the per-stage deltas below sum to the end-to-end delta instead of
+# double-counting parents and children.
+rng = np.random.default_rng(0)
+prev = rng.uniform(1.0, 2.0, 100_000)
+curr = prev * (1.0 + rng.normal(0.0, 0.002, 100_000))
+
+traces = {}
+for strategy in ("equal_width", "clustering"):
+    run_tel = Telemetry()
+    with use(run_tel):
+        comp = NumarckCompressor(
+            NumarckConfig(error_bound=1e-3, nbits=8, strategy=strategy))
+        comp.decompress(prev, comp.compress(prev, curr))
+    traces[strategy] = [s.to_dict() for s in run_tel.spans]
+
+print("\nWhat does k-means cost over equal-width bins on the same pair?\n")
+print(diff_table(traces["equal_width"], traces["clustering"], top=6,
+                 labels=("ew", "km"),
+                 title="trace diff: A=equal_width  B=clustering"))
+
+diffs = diff_traces(traces["equal_width"], traces["clustering"])
+top = diffs[0]
+assert top["delta_self"] > 0, "k-means should cost extra time somewhere"
+print(f"\n{top['share']:.0%} of the strategy delta is "
+      f"{top['stage']!r} ({top['delta_self'] * 1e3:+.2f} ms)")
+
+chain_path = [hop["name"] for hop in critical_path(traces["clustering"])]
+print(f"k-means run critical path: {' > '.join(chain_path)}")

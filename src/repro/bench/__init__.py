@@ -1,0 +1,65 @@
+"""Scenario-based benchmark runner with regression gating.
+
+The performance observatory's measurement layer: deterministic
+compression workloads (:mod:`repro.bench.scenarios`) executed N times
+under tracing (:mod:`repro.bench.runner`), reduced to median/MAD
+statistics with per-stage self times and memory peaks, fingerprinted
+with the environment that produced them, and written as schema-validated
+``BENCH_<scenario>.json`` documents (:mod:`repro.bench.schema`).  The
+comparator (:mod:`repro.bench.compare`) gates a run against a committed
+baseline using a MAD-derived noise threshold instead of naive percent
+deltas, so the gate adapts to each stage's measured jitter.
+
+Command-line front end::
+
+    python -m repro bench run --quick --out bench_results
+    python -m repro bench compare benchmarks/baselines bench_results
+    python -m repro bench report bench_results
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    Comparison,
+    Delta,
+    Thresholds,
+    compare_dirs,
+    compare_docs,
+    comparison_table,
+    load_bench,
+)
+from repro.bench.runner import (
+    DEFAULT_REPEATS,
+    bench_path,
+    env_fingerprint,
+    robust_stats,
+    run_scenario,
+    run_suite,
+    write_bench,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
+from repro.bench.schema import SCHEMA_VERSION, BenchSchemaError, validate_bench
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "run_scenario",
+    "run_suite",
+    "write_bench",
+    "bench_path",
+    "env_fingerprint",
+    "robust_stats",
+    "DEFAULT_REPEATS",
+    "Thresholds",
+    "Delta",
+    "Comparison",
+    "compare_docs",
+    "compare_dirs",
+    "comparison_table",
+    "load_bench",
+    "SCHEMA_VERSION",
+    "BenchSchemaError",
+    "validate_bench",
+]

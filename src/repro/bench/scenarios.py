@@ -1,0 +1,187 @@
+"""Benchmark scenarios: the fixed workloads the observatory tracks.
+
+Each scenario is a *deterministic* unit of work -- fixed seeds, fixed
+sizes -- so two runs on the same machine differ only by machine noise and
+two runs on different commits differ only by the code.  A scenario
+separates *build* (generate trajectories, allocate buffers; untimed) from
+*work* (the measured callable), and every ``work()`` call must redo the
+full measured computation so repeats are independent samples.
+
+Sizes come in two modes: ``quick`` keeps the whole suite in seconds for
+CI and pre-commit runs; ``full`` uses paper-scale grids for nightly
+trajectories.  The *shape* of the stage breakdown is mode-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_names", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark workload.
+
+    ``build(quick, workdir)`` performs untimed setup and returns the
+    measured ``work()`` callable; ``work()`` returns an attrs dict
+    (point/byte counts) recorded in the result document.
+    """
+
+    name: str
+    description: str
+    build: Callable[[bool, Path], Callable[[], dict[str, Any]]]
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(name: str, description: str):
+    def deco(build):
+        SCENARIOS[name] = Scenario(name, description, build)
+        return build
+    return deco
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"available: {scenario_names()}") from None
+
+
+def _cmip_pairs(quick: bool) -> list[tuple[np.ndarray, np.ndarray]]:
+    from repro.simulations.cmip import CmipSimulation
+
+    # Quick mode keeps the paper grid (stage times must clear the
+    # comparator's absolute noise floor) but fewer iterations.
+    nlat, nlon, iters = (90, 144, 2) if quick else (90, 144, 6)
+    sim = CmipSimulation("rlus", nlat=nlat, nlon=nlon, seed=42)
+    traj = [cp["rlus"] for cp in sim.run(iters)]
+    return list(zip(traj, traj[1:]))
+
+
+def _compress_work(pairs, strategy: str) -> Callable[[], dict[str, Any]]:
+    from repro.core import NumarckCompressor, NumarckConfig
+    from repro.telemetry.accounting import delta_payload_nbytes
+
+    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
+                                           strategy=strategy))
+
+    def work() -> dict[str, Any]:
+        n_points = 0
+        bytes_out = 0
+        for prev, curr in pairs:
+            enc = comp.compress(prev, curr)
+            comp.decompress(prev, enc)
+            n_points += enc.n_points
+            bytes_out += delta_payload_nbytes(enc)
+        return {"n_points": n_points, "bytes_out": bytes_out,
+                "n_pairs": len(pairs)}
+
+    return work
+
+
+@_register("cmip_equal_width",
+           "compress+decompress a CMIP rlus trajectory, equal-width bins")
+def _cmip_equal_width(quick: bool, workdir: Path):
+    return _compress_work(_cmip_pairs(quick), "equal_width")
+
+
+@_register("cmip_log_scale",
+           "compress+decompress a CMIP rlus trajectory, log-scale bins")
+def _cmip_log_scale(quick: bool, workdir: Path):
+    return _compress_work(_cmip_pairs(quick), "log_scale")
+
+
+@_register("cmip_clustering",
+           "compress+decompress a CMIP rlus trajectory, k-means bins")
+def _cmip_clustering(quick: bool, workdir: Path):
+    return _compress_work(_cmip_pairs(quick), "clustering")
+
+
+@_register("flash_clustering",
+           "compress+decompress a FLASH Sedov trajectory, k-means bins")
+def _flash_clustering(quick: bool, workdir: Path):
+    from repro.simulations.flash import FlashSimulation
+
+    size, n_pairs, variables = ((48, 2, ("dens", "pres", "temp"))
+                                if quick else
+                                (64, 3, ("dens", "pres", "temp", "ener",
+                                         "eint")))
+    sim = FlashSimulation("sedov", ny=size, nx=size, steps_per_checkpoint=3)
+    for _ in range(2):  # skip the initial transient
+        sim.advance()
+    checkpoints = list(sim.run(n_pairs))
+    pairs = [(a[v], b[v])
+             for a, b in zip(checkpoints, checkpoints[1:])
+             for v in variables]
+    return _compress_work(pairs, "clustering")
+
+
+@_register("chain_persist",
+           "append to, save, and reload a delta chain (container I/O)")
+def _chain_persist(quick: bool, workdir: Path):
+    from repro.core import CheckpointChain, NumarckConfig
+    from repro.io import load_chain, save_chain
+
+    pairs = _cmip_pairs(quick)
+    states = [pairs[0][0]] + [curr for _, curr in pairs]
+    config = NumarckConfig(error_bound=1e-3, nbits=8, strategy="equal_width")
+    path = workdir / "bench_chain.nmk"
+
+    def work() -> dict[str, Any]:
+        chain = CheckpointChain(states[0], config)
+        for state in states[1:]:
+            chain.append(state)
+        nbytes = save_chain(path, chain)
+        load_chain(path)
+        return {"n_points": int(states[0].size) * len(states),
+                "bytes_out": int(nbytes), "n_iterations": len(states)}
+
+    return work
+
+
+@_register("bitpack_roundtrip",
+           "pack and unpack 9-bit indices (the encoder's byte engine)")
+def _bitpack_roundtrip(quick: bool, workdir: Path):
+    from repro.bitpack import pack_bits, unpack_bits
+
+    n = 1_000_000 if quick else 4_000_000
+    width = 9
+    vals = np.random.default_rng(7).integers(
+        0, 1 << width, n).astype(np.uint32)
+
+    def work() -> dict[str, Any]:
+        packed = pack_bits(vals, width)
+        unpack_bits(packed, n, width)
+        return {"n_points": n, "bytes_out": len(packed), "width": width}
+
+    return work
+
+
+@_register("kmeans_fit",
+           "1-D Lloyd fit at k=255 (the clustering strategy's kernel)")
+def _kmeans_fit(quick: bool, workdir: Path):
+    from repro.kmeans import histogram_init, kmeans1d
+
+    n = 50_000 if quick else 200_000
+    data = np.random.default_rng(7).normal(size=n)
+    k = 255
+
+    def work() -> dict[str, Any]:
+        init = histogram_init(data, k)
+        res = kmeans1d(data, init, 10)
+        return {"n_points": n, "k": k,
+                "sweeps": len(res.inertia_history)}
+
+    return work

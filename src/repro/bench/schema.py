@@ -1,0 +1,102 @@
+"""Schema for ``BENCH_<scenario>.json`` documents.
+
+A benchmark result is only useful as a *trajectory* -- a sequence of
+comparable documents across commits -- so the on-disk format is pinned
+and validated on both ends: the runner validates before writing and the
+comparator validates after reading.  Validation is hand-rolled (no
+``jsonschema`` dependency): :func:`validate_bench` walks the document and
+raises :class:`BenchSchemaError` naming the offending path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["SCHEMA_VERSION", "BenchSchemaError", "validate_bench",
+           "validate_stats_block"]
+
+#: bump when the document layout changes incompatibly.
+SCHEMA_VERSION = "numarck-bench/1"
+
+
+class BenchSchemaError(ValueError):
+    """A benchmark document does not conform to :data:`SCHEMA_VERSION`."""
+
+
+def _require(doc: Mapping[str, Any], key: str, types, path: str) -> Any:
+    if key not in doc:
+        raise BenchSchemaError(f"{path}: missing required key {key!r}")
+    value = doc[key]
+    if not isinstance(value, types):
+        raise BenchSchemaError(
+            f"{path}.{key}: expected {types}, got {type(value).__name__}")
+    return value
+
+
+def validate_stats_block(block: Any, path: str) -> None:
+    """Validate one ``{"median": f, "mad": f, "runs": [f, ...]}`` block."""
+    if not isinstance(block, Mapping):
+        raise BenchSchemaError(f"{path}: expected stats object")
+    median = _require(block, "median", (int, float), path)
+    mad = _require(block, "mad", (int, float), path)
+    runs = _require(block, "runs", list, path)
+    if not runs:
+        raise BenchSchemaError(f"{path}.runs: must be non-empty")
+    if not all(isinstance(v, (int, float)) for v in runs):
+        raise BenchSchemaError(f"{path}.runs: all entries must be numbers")
+    if mad < 0:
+        raise BenchSchemaError(f"{path}.mad: must be >= 0, got {mad}")
+    if not (min(runs) <= median <= max(runs)):
+        raise BenchSchemaError(
+            f"{path}.median: {median} outside run range "
+            f"[{min(runs)}, {max(runs)}]")
+
+
+_ENV_KEYS = ("python", "implementation", "platform", "machine", "numpy",
+             "cpu_count")
+
+
+def validate_bench(doc: Any) -> None:
+    """Raise :class:`BenchSchemaError` unless ``doc`` is a valid result."""
+    if not isinstance(doc, Mapping):
+        raise BenchSchemaError("document: expected a JSON object")
+    schema = _require(doc, "schema", str, "document")
+    if schema != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"document.schema: expected {SCHEMA_VERSION!r}, got {schema!r}")
+    _require(doc, "scenario", str, "document")
+    mode = _require(doc, "mode", str, "document")
+    if mode not in ("quick", "full"):
+        raise BenchSchemaError(
+            f"document.mode: expected 'quick' or 'full', got {mode!r}")
+    repeats = _require(doc, "repeats", int, "document")
+    if repeats < 1:
+        raise BenchSchemaError(f"document.repeats: must be >= 1, got {repeats}")
+    _require(doc, "created_unix", (int, float), "document")
+
+    env = _require(doc, "env", Mapping, "document")
+    for key in _ENV_KEYS:
+        if key not in env:
+            raise BenchSchemaError(f"document.env: missing key {key!r}")
+
+    total = _require(doc, "total", Mapping, "document")
+    validate_stats_block(total.get("wall_s"), "document.total.wall_s")
+
+    stages = _require(doc, "stages", Mapping, "document")
+    for name, stage in stages.items():
+        path = f"document.stages[{name!r}]"
+        if not isinstance(stage, Mapping):
+            raise BenchSchemaError(f"{path}: expected object")
+        _require(stage, "calls", int, path)
+        validate_stats_block(stage.get("self_s"), f"{path}.self_s")
+        validate_stats_block(stage.get("wall_s"), f"{path}.wall_s")
+
+    memory = doc.get("memory")
+    if memory is not None:
+        if not isinstance(memory, Mapping):
+            raise BenchSchemaError("document.memory: expected object")
+        for name, stage in (memory.get("stages") or {}).items():
+            if not isinstance(stage.get("mem_py_peak_kb"), (int, float)):
+                raise BenchSchemaError(
+                    f"document.memory.stages[{name!r}].mem_py_peak_kb: "
+                    "expected number")

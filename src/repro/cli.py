@@ -309,12 +309,31 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import (
+        diff_table,
         metrics_table,
         read_trace,
+        self_time_ranking,
         stage_table,
         trace_totals,
     )
 
+    if args.diff is not None:
+        a_path, b_path = args.diff
+        a = read_trace(a_path)
+        b = read_trace(b_path)
+        if not any(r.get("type") == "span" for r in a) or \
+                not any(r.get("type") == "span" for r in b):
+            print("error: both traces must contain spans to diff",
+                  file=sys.stderr)
+            return 1
+        print(diff_table(a, b, top=args.top,
+                         title=f"trace diff: A={a_path} B={b_path}"))
+        return 0
+
+    if args.trace is None:
+        print("error: stats needs a trace file (or --diff A B)",
+              file=sys.stderr)
+        return 2
     records = read_trace(args.trace)
     spans = [r for r in records if r.get("type") == "span"]
     if not spans:
@@ -326,10 +345,89 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"{totals['bytes_out'] / 1e6:.2f} MB out")
     print()
     print(stage_table(spans))
+    if args.top is not None:
+        ranked = self_time_ranking(spans, args.top)
+        print()
+        print(f"top {args.top} stages by self time:")
+        for i, agg in enumerate(ranked, start=1):
+            print(f"  {i}. {agg['stage']}: {agg['self_s'] * 1e3:.2f} ms self "
+                  f"({agg['calls']} calls)")
     metrics = [r for r in records if r.get("type") == "metrics"]
     if metrics:
         print()
         print(metrics_table(metrics[-1]))
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import run_suite, scenario_names
+
+    unknown = [n for n in (args.scenario or []) if n not in scenario_names()]
+    if unknown:
+        print(f"error: unknown scenarios {unknown}; "
+              f"available: {scenario_names()}", file=sys.stderr)
+        return 2
+
+    def progress(doc):
+        total = doc["total"]["wall_s"]
+        print(f"{doc['scenario']}: median {total['median'] * 1e3:.2f} ms "
+              f"(MAD {total['mad'] * 1e3:.2f} ms, {doc['repeats']} repeats, "
+              f"{doc['mode']}) -> "
+              f"{args.out}/BENCH_{doc['scenario']}.json")
+
+    run_suite(args.scenario or None, quick=args.quick, repeats=args.repeats,
+              memory=not args.no_memory, out_dir=args.out, progress=progress)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import Thresholds, compare_dirs, comparison_table
+
+    thresholds = Thresholds(k=args.k, rel_floor=args.rel_floor,
+                            abs_floor=args.abs_floor)
+    comparison = compare_dirs(args.baseline, args.current, thresholds)
+    print(comparison_table(comparison, top=args.top))
+    for note in comparison.notes:
+        print(f"note: {note}")
+    improved = comparison.improvements
+    if improved:
+        print(f"{len(improved)} metric(s) improved beyond the noise gate")
+    regressions = comparison.regressions
+    if regressions:
+        print(f"REGRESSION: {len(regressions)} metric(s) exceeded the "
+              f"noise gate", file=sys.stderr)
+        return 1
+    print(f"ok: no regressions across {len(comparison.deltas)} gated metrics")
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.bench import load_bench
+
+    files = sorted(Path(args.dir).glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files under {args.dir}",
+              file=sys.stderr)
+        return 1
+    rows = []
+    for path in files:
+        doc = load_bench(path)
+        total = doc["total"]["wall_s"]
+        hottest = max(doc["stages"].items(),
+                      key=lambda kv: kv[1]["self_s"]["median"],
+                      default=(None, None))
+        mem = (doc.get("memory") or {}).get("rss_peak_kb")
+        rows.append([
+            doc["scenario"], doc["mode"], doc["repeats"],
+            f"{total['median'] * 1e3:.2f}", f"{total['mad'] * 1e3:.2f}",
+            hottest[0] or "-",
+            f"{mem / 1024:.1f}" if mem is not None else "-",
+        ])
+    print(format_table(
+        ["scenario", "mode", "reps", "median ms", "MAD ms",
+         "hottest stage", "RSS MB"],
+        rows, title=f"benchmark results: {args.dir}"))
     return 0
 
 
@@ -421,9 +519,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats",
                        help="stage-breakdown and metrics tables from a "
-                            "telemetry trace (exit 1 if it has no spans)")
-    p.add_argument("trace", help="trace .jsonl file (see NUMARCK_TRACE)")
+                            "telemetry trace; exits 1 when the trace is "
+                            "missing, unreadable, or contains no spans")
+    p.add_argument("trace", nargs="?", default=None,
+                   help="trace .jsonl file (see NUMARCK_TRACE); omit only "
+                        "with --diff")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="also print the top-N stages ranked by self time "
+                        "(with --diff: keep only the top-N rows)")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                   help="attribute the wall-time delta between two traces "
+                        "to stages (per-stage self-time deltas; positive "
+                        "delta means B is slower)")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("bench",
+                       help="scenario benchmarks: run, compare against a "
+                            "baseline, report")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser("run",
+                             help="run scenarios and write schema-validated "
+                                  "BENCH_<scenario>.json documents")
+    b.add_argument("--quick", action="store_true",
+                   help="reduced sizes for CI / pre-commit (seconds, "
+                        "not minutes)")
+    b.add_argument("--scenario", action="append", metavar="NAME",
+                   help="run only this scenario (repeatable; default: all)")
+    b.add_argument("--repeats", type=int, default=5,
+                   help="timed repeats per scenario (default 5)")
+    b.add_argument("--out", default="bench_results",
+                   help="output directory (default: bench_results)")
+    b.add_argument("--no-memory", action="store_true",
+                   help="skip the separate memory-gauged pass")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser("compare",
+                             help="gate a run against a baseline; exits 1 "
+                                  "when any metric regresses beyond its "
+                                  "MAD-based noise threshold")
+    b.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    b.add_argument("current", help="current BENCH_*.json file or directory")
+    b.add_argument("--k", type=float, default=4.0,
+                   help="noise-gate width in MAD-derived sigmas (default 4)")
+    b.add_argument("--rel-floor", type=float, default=0.25,
+                   help="minimum gate as a fraction of the baseline median "
+                        "(default 0.25)")
+    b.add_argument("--abs-floor", type=float, default=5e-4,
+                   help="minimum gate in seconds (default 5e-4)")
+    b.add_argument("--top", type=int, default=None, metavar="N",
+                   help="print only the top-N rows")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser("report",
+                             help="summarise the BENCH_*.json documents in "
+                                  "a directory")
+    b.add_argument("dir", nargs="?", default="bench_results",
+                   help="results directory (default: bench_results)")
+    b.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser("verify",
                        help="walk a checkpoint file and report per-record "

@@ -45,6 +45,16 @@ from repro.telemetry.accounting import (
     raw_nbytes,
     record_nbytes,
 )
+from repro.telemetry.analysis import (
+    SpanNode,
+    critical_path,
+    diff_table,
+    diff_traces,
+    folded_stacks,
+    self_time_ranking,
+    span_tree,
+    stage_rollup,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -91,6 +101,14 @@ __all__ = [
     "stage_table",
     "metrics_table",
     "trace_totals",
+    "SpanNode",
+    "span_tree",
+    "stage_rollup",
+    "critical_path",
+    "folded_stacks",
+    "self_time_ranking",
+    "diff_traces",
+    "diff_table",
     "delta_payload_nbytes",
     "full_payload_nbytes",
     "record_nbytes",
@@ -101,12 +119,18 @@ __all__ = [
 #: environment variable that enables process-wide tracing to a JSONL file.
 TRACE_ENV_VAR = "NUMARCK_TRACE"
 
+#: set to a truthy value alongside :data:`TRACE_ENV_VAR` to also attach
+#: per-span peak-memory gauges (``tracemalloc`` heap + RSS high-water).
+TRACE_MEMORY_ENV_VAR = "NUMARCK_TRACE_MEMORY"
+
 
 def _activate_from_env() -> None:
     path = os.environ.get(TRACE_ENV_VAR)
     if not path:
         return
-    tel = Telemetry(sink=JsonlSink(path), keep_spans=False)
+    memory = os.environ.get(TRACE_MEMORY_ENV_VAR, "").lower() in (
+        "1", "true", "yes", "on")
+    tel = Telemetry(sink=JsonlSink(path), keep_spans=False, memory=memory)
     set_telemetry(tel)
     atexit.register(tel.close)
 

@@ -1,0 +1,257 @@
+"""Trace analytics: span trees, critical paths, flamegraphs, trace diffs.
+
+:mod:`repro.telemetry.report` renders one trace as a flat per-stage
+table; this module answers the *structural* questions performance work
+actually asks:
+
+* **Where does a trace's time live?**  :func:`span_tree` rebuilds the
+  span forest from a JSONL trace (tolerant of out-of-order records and
+  orphaned spans from crashed runs), :func:`stage_rollup` aggregates
+  self/total time per stage, and :func:`critical_path` walks the
+  heaviest chain from the heaviest root.
+* **What does it look like?**  :func:`folded_stacks` emits
+  ``parent;child;leaf <self µs>`` lines consumable by any flamegraph
+  renderer (Brendan Gregg's ``flamegraph.pl``, speedscope, ...).
+* **What changed?**  :func:`diff_traces` attributes the wall-time delta
+  between two traces to specific stages by differencing per-stage *self*
+  time -- self times partition the trace, so the per-stage deltas sum to
+  the root-wall delta instead of double-counting parents and children.
+
+All functions accept the plain record dicts returned by
+:func:`repro.telemetry.sink.read_trace` (non-span records are ignored),
+so a trace file round-trips straight into analysis::
+
+    from repro.telemetry import read_trace
+    from repro.telemetry.analysis import diff_table
+
+    print(diff_table(read_trace("before.jsonl"), read_trace("after.jsonl")))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.telemetry.report import stage_summary
+
+__all__ = [
+    "SpanNode",
+    "span_tree",
+    "stage_rollup",
+    "critical_path",
+    "folded_stacks",
+    "self_time_ranking",
+    "diff_traces",
+    "diff_table",
+]
+
+
+def _spans(records: Iterable[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    return [r for r in records if r.get("type") == "span" or
+            ("type" not in r and "wall_s" in r)]
+
+
+class SpanNode:
+    """One span in a reconstructed trace tree."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Mapping[str, Any]) -> None:
+        self.record = record
+        self.children: list[SpanNode] = []
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", "?"))
+
+    @property
+    def wall_s(self) -> float:
+        return float(self.record.get("wall_s", 0.0))
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by children (floored at 0 for skew)."""
+        return max(self.wall_s - sum(c.wall_s for c in self.children), 0.0)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """Depth-first iteration over this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanNode({self.name!r}, wall={self.wall_s:.6f}s, "
+                f"children={len(self.children)})")
+
+
+def span_tree(records: Sequence[Mapping[str, Any]]) -> list[SpanNode]:
+    """Rebuild the span forest; returns the roots ordered by start time.
+
+    Spans link by id, so record *order* in the file is irrelevant (sinks
+    write spans in completion order, children before parents).  A span
+    whose parent id never appears -- e.g. the parent was still open when
+    the producer crashed, or the head of the trace was lost -- becomes a
+    root rather than being dropped, so partial traces still analyse.
+    """
+    spans = _spans(records)
+    nodes = {r["id"]: SpanNode(r) for r in spans if "id" in r}
+    roots: list[SpanNode] = []
+    for r in spans:
+        node = nodes.get(r.get("id"))
+        if node is None or node.record is not r:
+            node = SpanNode(r)  # id-less or duplicate-id record
+        parent = nodes.get(r.get("parent"))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.record.get("t_start", 0.0))
+    roots.sort(key=lambda n: n.record.get("t_start", 0.0))
+    return roots
+
+
+def stage_rollup(records: Sequence[Mapping[str, Any]]
+                 ) -> dict[str, dict[str, Any]]:
+    """Per-stage aggregates keyed by stage name.
+
+    Each value carries ``calls``, ``wall_s`` (total), ``self_s`` (wall
+    time not inside child spans), ``cpu_s``, ``share``, ``bytes_in``,
+    ``bytes_out`` and -- when the trace carries memory gauges --
+    ``mem_py_peak_kb`` (max over the stage's spans).
+    """
+    spans = _spans(records)
+    rollup = {agg["stage"]: agg for agg in stage_summary(spans)}
+    for s in spans:
+        attrs = s.get("attrs") or {}
+        peak = attrs.get("mem_py_peak_kb")
+        if isinstance(peak, (int, float)):
+            agg = rollup.get(s.get("name"))
+            if agg is not None:
+                agg["mem_py_peak_kb"] = max(
+                    agg.get("mem_py_peak_kb", 0.0), float(peak))
+    return rollup
+
+
+def critical_path(records: Sequence[Mapping[str, Any]]
+                  ) -> list[dict[str, Any]]:
+    """The heaviest root-to-leaf chain, as one dict per hop.
+
+    Starting from the root with the largest wall time, repeatedly descend
+    into the heaviest child.  Each entry has ``name``, ``wall_s``,
+    ``self_s`` and ``depth``; the first entry is the root.  Empty traces
+    yield an empty list.
+    """
+    roots = span_tree(records)
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n.wall_s)
+    path: list[dict[str, Any]] = []
+    depth = 0
+    while True:
+        path.append({"name": node.name, "wall_s": node.wall_s,
+                     "self_s": node.self_s, "depth": depth})
+        if not node.children:
+            return path
+        node = max(node.children, key=lambda n: n.wall_s)
+        depth += 1
+
+
+def folded_stacks(records: Sequence[Mapping[str, Any]],
+                  *, scale: float = 1e6) -> list[str]:
+    """Flamegraph-compatible folded stacks: ``a;b;c <self-time>`` lines.
+
+    Values are self times in microseconds (``scale=1e6``); identical
+    stacks are merged by summing.  Feed the result straight to
+    ``flamegraph.pl`` or paste it into speedscope.
+    """
+    totals: dict[str, float] = {}
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        totals[stack] = totals.get(stack, 0.0) + node.self_s
+        for child in node.children:
+            visit(child, stack)
+
+    for root in span_tree(records):
+        visit(root, "")
+    return [f"{stack} {round(value * scale)}"
+            for stack, value in sorted(totals.items())]
+
+
+def self_time_ranking(records: Sequence[Mapping[str, Any]],
+                      top: int | None = None) -> list[dict[str, Any]]:
+    """Stages ordered by descending *self* time (the optimisation queue).
+
+    ``top`` truncates the ranking; each entry is a :func:`stage_rollup`
+    aggregate.
+    """
+    ranked = sorted(stage_rollup(records).values(),
+                    key=lambda a: -a["self_s"])
+    return ranked[:top] if top is not None else ranked
+
+
+def diff_traces(a_records: Sequence[Mapping[str, Any]],
+                b_records: Sequence[Mapping[str, Any]],
+                ) -> list[dict[str, Any]]:
+    """Attribute the wall-time delta between two traces to stages.
+
+    Returns one dict per stage present in either trace, ordered by
+    descending absolute self-time delta, with keys ``stage``,
+    ``calls_a``/``calls_b``, ``self_a``/``self_b``, ``delta_self``
+    (``b - a``; positive means B is slower there), ``total_a``/
+    ``total_b`` and ``share`` -- the stage's fraction of the summed
+    absolute self-time delta, i.e. how much of the trace-level change
+    this stage explains.  Because self times partition each trace, the
+    signed ``delta_self`` values sum to the root-wall delta.
+    """
+    a_roll = stage_rollup(a_records)
+    b_roll = stage_rollup(b_records)
+    zero = {"calls": 0, "wall_s": 0.0, "self_s": 0.0, "cpu_s": 0.0}
+    out: list[dict[str, Any]] = []
+    for stage in sorted(set(a_roll) | set(b_roll)):
+        a = a_roll.get(stage, zero)
+        b = b_roll.get(stage, zero)
+        out.append({
+            "stage": stage,
+            "calls_a": a["calls"], "calls_b": b["calls"],
+            "self_a": a["self_s"], "self_b": b["self_s"],
+            "delta_self": b["self_s"] - a["self_s"],
+            "total_a": a["wall_s"], "total_b": b["wall_s"],
+        })
+    total_abs = sum(abs(d["delta_self"]) for d in out)
+    for d in out:
+        d["share"] = abs(d["delta_self"]) / total_abs if total_abs > 0 else 0.0
+    out.sort(key=lambda d: -abs(d["delta_self"]))
+    return out
+
+
+def diff_table(a_records: Sequence[Mapping[str, Any]],
+               b_records: Sequence[Mapping[str, Any]],
+               *, top: int | None = None,
+               labels: tuple[str, str] = ("A", "B"),
+               title: str | None = "trace diff") -> str:
+    """Render :func:`diff_traces` as a fixed-width table."""
+    # Imported lazily: repro.analysis pulls in repro.core, whose modules
+    # import repro.telemetry -- a module-level import here would make the
+    # cycle load-order sensitive.
+    from repro.analysis.report import format_table
+
+    diffs = diff_traces(a_records, b_records)
+    if top is not None:
+        diffs = diffs[:top]
+    la, lb = labels
+    rows = []
+    for d in diffs:
+        rows.append([
+            d["stage"],
+            f"{d['calls_a']}/{d['calls_b']}",
+            f"{d['self_a'] * 1e3:.2f}",
+            f"{d['self_b'] * 1e3:.2f}",
+            f"{d['delta_self'] * 1e3:+.2f}",
+            f"{d['share']:.1%}",
+        ])
+    return format_table(
+        ["stage", f"calls {la}/{lb}", f"self ms {la}", f"self ms {lb}",
+         "delta ms", "share"],
+        rows, title=title,
+    )

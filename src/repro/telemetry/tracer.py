@@ -28,12 +28,29 @@ exit, so existing scripts gain traces without a single code change.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+
+def _rss_peak_kb() -> float | None:
+    """Process high-water RSS in KiB (``None`` where unsupported)."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak /= 1024
+    return float(peak)
 
 __all__ = [
     "Span",
@@ -55,7 +72,8 @@ class Span:
     """
 
     __slots__ = ("name", "span_id", "parent_id", "depth", "attrs",
-                 "t_start", "wall_s", "cpu_s", "_cpu_start", "_tel")
+                 "t_start", "wall_s", "cpu_s", "_cpu_start", "_tel",
+                 "_mem_start", "_mem_peak")
 
     def __init__(self, tel: "Telemetry", name: str, span_id: int,
                  parent_id: int | None, depth: int,
@@ -70,6 +88,8 @@ class Span:
         self.wall_s = 0.0
         self.cpu_s = 0.0
         self._cpu_start = 0.0
+        self._mem_start = 0
+        self._mem_peak = 0
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes; returns self for chaining."""
@@ -82,6 +102,13 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tel._push(self)
+        if self._tel._memory:
+            # Sample memory before the clocks start so the gauge overhead
+            # never pollutes the span's own timing.
+            current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            self._mem_start = current
+            self._mem_peak = current
         self.t_start = time.perf_counter()
         self._cpu_start = time.process_time()
         return self
@@ -91,8 +118,32 @@ class Span:
         self.cpu_s = time.process_time() - self._cpu_start
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
+        if self._tel._memory:
+            self._record_memory()
         self._tel._pop(self)
         return None
+
+    def _record_memory(self) -> None:
+        """Attach peak-memory gauges; propagate the peak to the parent.
+
+        ``tracemalloc``'s peak is process-global and we reset it on every
+        span entry, so each span only sees the peak since its *youngest
+        descendant* entered.  Finished children therefore report their
+        observed peak up the open-span stack, and every span's final peak
+        is the max over its own segments and all child peaks.
+        """
+        _, peak = tracemalloc.get_traced_memory()
+        peak = max(peak, self._mem_peak)
+        self.attrs["mem_py_peak_kb"] = round(
+            max(peak - self._mem_start, 0) / 1024, 3)
+        rss = _rss_peak_kb()
+        if rss is not None:
+            self.attrs["mem_rss_peak_kb"] = rss
+        tracemalloc.reset_peak()
+        stack = self._tel._stack()
+        if len(stack) >= 2 and stack[-1] is self:
+            parent = stack[-2]
+            parent._mem_peak = max(parent._mem_peak, peak)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (one JSONL trace line)."""
@@ -175,11 +226,20 @@ class Telemetry:
         Retain finished spans in :attr:`spans` (default).  Long-running
         producers that only stream to a sink can turn this off to bound
         memory.
+    memory:
+        Attach peak-memory gauges to every span: ``mem_py_peak_kb``
+        (peak python-heap growth inside the span, via ``tracemalloc``)
+        and ``mem_rss_peak_kb`` (process high-water RSS).  Starts
+        ``tracemalloc`` if it is not already tracing (and stops it again
+        on :meth:`close`).  Tracing allocations slows allocation-heavy
+        code noticeably, so timing-sensitive runs should measure time
+        and memory in separate passes (``repro.bench`` does).
     """
 
     enabled = True
 
-    def __init__(self, sink=None, *, keep_spans: bool = True) -> None:
+    def __init__(self, sink=None, *, keep_spans: bool = True,
+                 memory: bool = False) -> None:
         self.metrics = MetricsRegistry()
         self.spans: list[Span] = []
         self._sink = sink
@@ -187,6 +247,11 @@ class Telemetry:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 1
+        self._memory = bool(memory)
+        self._started_tracemalloc = False
+        if self._memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -267,6 +332,9 @@ class Telemetry:
                 self._sink.write({"type": "metrics", **snapshot})
             self._sink.close()
             self._sink = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
 
 
 #: process-wide disabled default; see :func:`get_telemetry`.

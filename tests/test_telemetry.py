@@ -114,6 +114,36 @@ class TestMetrics:
         # per-bucket counts: <=1, <=4, <=16, overflow
         assert h.counts == [2, 1, 0, 1]
 
+    def test_histogram_underflow_lands_in_first_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100))
+        h.observe(-5)
+        h.observe(0)
+        assert h.counts == [2, 0, 0]
+
+    def test_histogram_overflow_lands_in_last_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100))
+        h.observe(100.001)
+        h.observe(1e9)
+        assert h.counts == [0, 0, 2]
+
+    def test_histogram_boundary_value_is_inclusive(self):
+        # Bounds are upper bounds: an observation equal to a bound
+        # belongs to that bound's bucket, not the next one up.
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100))
+        h.observe(10)
+        h.observe(100)
+        assert h.counts == [1, 1, 0]
+
+    def test_histogram_counts_partition_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 4, 16))
+        for v in (-2, 0.5, 1, 3, 4, 15, 16, 17, 1e6):
+            h.observe(v)
+        assert sum(h.counts) == h.count == 9
+
     def test_snapshot_round_trips_json(self):
         reg = MetricsRegistry()
         reg.counter("c").inc(2)
@@ -173,6 +203,24 @@ class TestSink:
                  json.dumps({"type": "span", "name": "b"})]
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+
+    def test_torn_tail_with_trailing_newline_dropped(self, tmp_path):
+        # A crash between write() and the next append can leave a torn
+        # record even when a newline made it to disk; the final line is
+        # still the tear point and must be dropped, not fatal.
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"type": "span", "name": "a"}) +
+                        '\n{"type": "span", "na\n')
+        assert [r["name"] for r in read_trace(path)] == ["a"]
+
+    def test_corruption_before_intact_data_is_fatal(self, tmp_path):
+        # The mirror case: damage *followed by* parseable records cannot
+        # be an interrupted append -- refuse to silently skip it.
+        path = tmp_path / "t.jsonl"
+        good = json.dumps({"type": "span", "name": "a"})
+        path.write_text(good + "\n" + good[:10] + "\n" + good + "\n")
+        with pytest.raises(ValueError, match="corrupt trace line 2"):
             read_trace(path)
 
     def test_keep_spans_false_streams_only(self, tmp_path):

@@ -32,7 +32,11 @@ PACKAGES = [
     "repro.restart",
     "repro.analysis",
     "repro.resilience",
+    # analysis must precede telemetry: telemetry re-exports its names,
+    # and the walk skips re-exports whose home was already documented.
+    "repro.telemetry.analysis",
     "repro.telemetry",
+    "repro.bench",
 ]
 
 
@@ -148,6 +152,41 @@ Every stage of the pipeline is instrumented through `repro.telemetry`:
   via `repro.telemetry.stage_table` / `metrics_table`. Exact on-disk
   byte accounting (`delta_payload_nbytes` et al.) backs the size
   figures in `repro inspect`.
+* **Trace analytics.** `repro.telemetry.analysis` reconstructs the
+  span forest from any trace (`span_tree` — order-tolerant, crash
+  orphans surface as roots), extracts the heaviest chain
+  (`critical_path`), emits flamegraph-ready folded stacks
+  (`folded_stacks`), and diffs two traces (`diff_traces` /
+  `diff_table`, also `repro stats --diff A B`): self times partition a
+  trace, so per-stage deltas sum exactly to the end-to-end delta.
+* **Memory gauges.** `Telemetry(memory=True)` (or
+  `NUMARCK_TRACE_MEMORY=1`) attaches `mem_py_peak_kb` (tracemalloc
+  peak, propagated through nested spans) and `mem_rss_peak_kb` (RSS
+  high-water) to every span.
+"""
+
+
+PERFORMANCE_NOTES = """\
+## Performance tracking
+
+`repro.bench` turns the telemetry into regression gating:
+
+* **Scenarios.** Named, seeded end-to-end workloads
+  (`repro.bench.scenarios`): CMIP compression under each strategy,
+  FLASH chain compression, chain persistence, bit-packing and k-means
+  in isolation — each in a `--quick` and a full size.
+* **Runner.** `repro bench run` executes each scenario N times under
+  tracing (median + MAD per stage; a separate pass collects memory so
+  tracemalloc never pollutes the timings) and writes schema-validated
+  `BENCH_<scenario>.json` files stamped with an environment
+  fingerprint.
+* **Comparator.** `repro bench compare BASELINE CURRENT` gates the
+  total wall time and every stage's self time with a noise threshold
+  `max(k·1.4826·(MAD_base+MAD_cur), rel_floor·median, abs_floor)`;
+  regressions exit 1, improvements are reported but never fail.
+* **Baseline.** `benchmarks/baselines/` commits a quick-suite
+  baseline; CI's `bench-quick` job (manual + nightly) re-runs the
+  suite and gates against it.
 """
 
 
@@ -159,6 +198,7 @@ def generate() -> str:
         "",
         DURABILITY_NOTES,
         OBSERVABILITY_NOTES,
+        PERFORMANCE_NOTES,
     ]
     for pkg_name in PACKAGES:
         pkg = importlib.import_module(pkg_name)
