@@ -6,15 +6,22 @@ of mesh blocks (paper: ~80 16x16 blocks per process), computes change
 ratios locally, participates in a parallel k-means to fit the shared
 2^B - 1 representatives, then encodes its shard against the shared table.
 
+The second half kills one rank mid-encode with a
+:class:`~repro.parallel.RankFaultInjector` and shows degraded-mode
+recovery: the survivors still produce a decodable checkpoint honoring the
+error bound, reporting the casualty in their ``GlobalStats``.
+
 Run:  python examples/distributed_checkpointing.py
 """
 
 import numpy as np
 
+from repro.core import decode_iteration
 from repro.core.change import change_ratios
+from repro.core.config import NumarckConfig
 from repro.core.strategies.base import BinModel
 from repro.kmeans import histogram_init, parallel_kmeans1d
-from repro.parallel import run_spmd
+from repro.parallel import RankFaultInjector, parallel_encode, run_spmd
 from repro.simulations.flash import FlashSimulation
 
 N_RANKS = 4
@@ -53,6 +60,35 @@ def rank_worker(comm, prev_shards, curr_shards):
     return comm.rank, prev.size, n_compressible, float(result.inertia)
 
 
+def encode_worker(comm, prev_shards, curr_shards, cfg):
+    """Full in-situ encode; survives peer loss via degraded mode."""
+    prev = prev_shards[comm.rank]
+    curr = curr_shards[comm.rank]
+    enc, stats = parallel_encode(comm, prev, curr, cfg)
+    decoded = decode_iteration(prev, enc)
+    err = np.abs((decoded - curr) / np.where(prev == 0, 1.0, prev))
+    err[enc.incompressible.reshape(curr.shape)] = 0.0
+    return comm.rank, stats, float(err.max())
+
+
+def chaos_drill(prev_shards, curr_shards):
+    """Crash rank 1 while rank 0 gathers the model-fit sample."""
+    cfg = NumarckConfig(error_bound=E, nbits=8)
+    injector = RankFaultInjector(crash_in_phase="insitu.sample_gather")
+    outcomes = run_spmd(encode_worker, N_RANKS, prev_shards, curr_shards,
+                        cfg, strict=False, comm_timeout=2.0, timeout=60.0,
+                        faults={1: injector})
+    for o in outcomes:
+        if not o.ok:
+            print(f"rank {o.rank}: lost ({'timeout' if o.timed_out else 'died'})")
+            continue
+        rank, stats, max_err = o.value
+        state = "degraded" if stats.degraded else "complete"
+        print(f"rank {rank}: {state}, lost_ranks={stats.lost_ranks}, "
+              f"max ratio error {max_err:.2e} (bound {E:.0e})")
+        assert max_err < E * (1 + 1e-9), "bound must hold even degraded"
+
+
 def main():
     sim = FlashSimulation("sedov", ny=64, nx=64, steps_per_checkpoint=3,
                           n_ranks=N_RANKS)
@@ -76,6 +112,9 @@ def main():
     assert len(inertias) == 1, "all ranks must agree on the global model"
     print(f"\nglobal: {comp}/{total} points compressible ({comp / total:.1%}) "
           f"with one shared {K}-bin table")
+
+    print("\n-- chaos drill: rank 1 crashes during the sample gather --")
+    chaos_drill(prev_shards, curr_shards)
 
 
 if __name__ == "__main__":

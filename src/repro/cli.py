@@ -431,6 +431,100 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_worker(comm, prev_shards, curr_shards, cfg):
+    """Rank body for ``repro chaos``: encode under telemetry, verify the
+    bound locally, and ship the summary plus telemetry records home."""
+    from repro.core import decode_iteration
+    from repro.parallel import parallel_encode
+    from repro.telemetry import Telemetry, use
+
+    tel = Telemetry(keep_spans=True)
+    with use(tel):
+        enc, stats = parallel_encode(comm, prev_shards[comm.rank],
+                                     curr_shards[comm.rank], cfg)
+    prev = prev_shards[comm.rank]
+    curr = curr_shards[comm.rank]
+    out = decode_iteration(prev, enc)
+    # The NUMARCK guarantee is on change ratios: |out - curr| / |prev| <= E
+    # for every compressible point.
+    rel = np.abs((out - curr) / prev)
+    rel[enc.incompressible] = 0
+    return {
+        "rank": comm.rank,
+        "degraded": stats.degraded,
+        "lost_ranks": list(stats.lost_ranks),
+        "max_rel_err": float(rel.max()),
+        "n_points": stats.n_points,
+        "n_bins": stats.n_bins,
+        "records": tel.records(),
+    }
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel import RankFaultInjector, block_partition, run_spmd
+
+    if args.rank >= args.ranks:
+        print(f"error: --rank {args.rank} out of range for "
+              f"--ranks {args.ranks}", file=sys.stderr)
+        return 2
+    fault_kwargs = {
+        "crash": {"crash_in_phase": args.phase},
+        "hang": {"hang_in_phase": args.phase, "hang_seconds": args.timeout * 3},
+        "drop": {"drop_in_phase": args.phase},
+        "flip": {"flip_in_phase": args.phase},
+        "transient": {"error_in_phase": args.phase},
+        "none": None,
+    }[args.fault]
+    faults = (None if fault_kwargs is None
+              else {args.rank: RankFaultInjector(**fault_kwargs)})
+
+    rng = np.random.default_rng(args.seed)
+    prev = rng.uniform(1.0, 2.0, args.n)
+    curr = prev * (1.0 + rng.normal(0.0, args.error_bound * 3, args.n))
+    cfg = NumarckConfig(error_bound=args.error_bound, nbits=8)
+    prev_shards = block_partition(prev, args.ranks)
+    curr_shards = block_partition(curr, args.ranks)
+
+    outcomes = run_spmd(
+        _chaos_worker, args.ranks, prev_shards, curr_shards, cfg,
+        strict=False, comm_timeout=args.timeout, faults=faults,
+        timeout=max(10.0 * args.timeout, 30.0))
+
+    trace_records = []
+    bad = 0
+    for o in outcomes:
+        if o.ok:
+            r = o.value
+            honored = r["max_rel_err"] <= args.error_bound * (1 + 1e-9)
+            state = "degraded" if r["degraded"] else "complete"
+            print(f"rank {o.rank}: {state} lost={r['lost_ranks']} "
+                  f"max_err={r['max_rel_err']:.3e} "
+                  f"bound={'ok' if honored else 'VIOLATED'}")
+            if not honored:
+                bad += 1
+            for rec in r["records"]:
+                trace_records.append({"rank": o.rank, **rec})
+        else:
+            kind = "timeout" if o.timed_out else "failed"
+            print(f"rank {o.rank}: {kind}: {o.error}")
+    survivors = [o for o in outcomes if o.ok]
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            for rec in trace_records:
+                fh.write(json.dumps(rec) + "\n")
+        print(f"wrote {len(trace_records)} telemetry records to {args.trace}")
+    if not survivors:
+        print("error: no rank completed", file=sys.stderr)
+        return 1
+    if bad:
+        print(f"error: {bad} rank(s) violated the error bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.errors import FormatError
 
@@ -583,6 +677,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "CRC status (exit 1 on damage)")
     p.add_argument("file", help="checkpoint file (any flavour)")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("chaos",
+                       help="run a distributed encode with an injected rank "
+                            "fault and verify degraded-mode recovery (exit "
+                            "1 if no rank completes or any completed rank "
+                            "violates the error bound)")
+    p.add_argument("--ranks", type=int, default=3,
+                   help="number of SPMD ranks (default 3)")
+    p.add_argument("--fault", default="crash",
+                   choices=["crash", "hang", "drop", "flip", "transient",
+                            "none"],
+                   help="fault family to inject (default crash)")
+    p.add_argument("--phase", default="insitu.sample_gather",
+                   help="pipeline phase to strike "
+                        "(default insitu.sample_gather)")
+    p.add_argument("--rank", type=int, default=1,
+                   help="rank to inject the fault into (default 1)")
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-message comm silence deadline in seconds "
+                        "(default 2)")
+    p.add_argument("--n", type=int, default=50_000,
+                   help="synthetic data points (default 50000)")
+    p.add_argument("--error-bound", type=float, default=1e-3,
+                   help="NUMARCK relative error bound E (default 1e-3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic data seed (default 0)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write merged per-rank telemetry records (fault "
+                        "spans included) to this .jsonl file")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("repair",
                        help="truncate a damaged checkpoint file to its last "

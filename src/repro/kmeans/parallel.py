@@ -33,6 +33,7 @@ def parallel_kmeans1d(
     centroids: np.ndarray,
     max_iter: int = 50,
     tol: float = 1e-10,
+    on_rank_failure: str = "raise",
 ) -> KMeansResult:
     """Distributed Lloyd's algorithm on scalar data.
 
@@ -47,20 +48,33 @@ def parallel_kmeans1d(
     centroids:
         Initial centroids; must be identical on all ranks (typically rank 0
         computes them from a sample and broadcasts).
+    on_rank_failure:
+        ``"raise"`` (default) propagates
+        :class:`~repro.parallel.faults.RankFailureError` when a peer rank
+        is lost mid-iteration.  ``"degrade"`` routes every allreduce
+        through the failure-absorbing degraded collectives: the moments of
+        lost ranks simply stop contributing, the survivors keep stepping
+        to identical centroids, and the per-point guarantee downstream is
+        untouched (the centroids only steer bin placement).
 
     Returns
     -------
     KMeansResult
         ``labels`` are for the *local* shard; ``centroids``, ``inertia``
-        and convergence flags are global and identical on every rank.
+        and convergence flags are global and identical on every rank
+        (every *surviving* rank, under ``"degrade"``).
     """
     comm = comm if comm is not None else SerialComm()
+    if on_rank_failure not in ("raise", "degrade"):
+        raise ValueError(f"unknown on_rank_failure {on_rank_failure!r}")
+    allreduce = (comm.allreduce_degraded if on_rank_failure == "degrade"
+                 else comm.allreduce)
     arr = np.asarray(local_data, dtype=np.float64).ravel()
     cent = np.sort(np.asarray(centroids, dtype=np.float64).ravel())
     k = cent.size
     if k < 1:
         raise ValueError("need at least one centroid")
-    n_global = comm.allreduce(arr.size)
+    n_global = allreduce(arr.size)
     if n_global == 0:
         raise ValueError("global data set is empty")
 
@@ -70,8 +84,8 @@ def parallel_kmeans1d(
         # Global data span for the relative movement tolerance.
         local_lo = float(arr.min()) if arr.size else np.inf
         local_hi = float(arr.max()) if arr.size else -np.inf
-        lo = comm.allreduce(local_lo, op=min)
-        hi = comm.allreduce(local_hi, op=max)
+        lo = allreduce(local_lo, op=min)
+        hi = allreduce(local_hi, op=max)
         span = hi - lo
         move_tol = tol * (span if span > 0 else 1.0)
 
@@ -80,9 +94,9 @@ def parallel_kmeans1d(
         # *after* assignment (and reusing them for the next update) keeps
         # it at one allreduce per sweep.
         local_sumsq = float(np.sum(arr * arr)) if arr.size else 0.0
-        sumsq = comm.allreduce(local_sumsq)
+        sumsq = allreduce(local_sumsq)
         labels = assign1d(arr, cent) if arr.size else np.empty(0, dtype=np.int32)
-        sums = comm.allreduce(_local_sums(arr, labels, k))
+        sums = allreduce(_local_sums(arr, labels, k))
         history: list[float] = []
         n_iter = 0
         converged = False
@@ -94,7 +108,7 @@ def parallel_kmeans1d(
             move = float(np.max(np.abs(new - cent)))
             cent = new
             labels = assign1d(arr, cent) if arr.size else labels
-            sums = comm.allreduce(_local_sums(arr, labels, k))
+            sums = allreduce(_local_sums(arr, labels, k))
             history.append(max(
                 sumsq - 2.0 * float(cent @ sums[:, 0])
                 + float(sums[:, 1] @ (cent * cent)),
@@ -104,7 +118,7 @@ def parallel_kmeans1d(
                 converged = True
                 break
         local_inertia = float(np.sum((arr - cent[labels]) ** 2)) if arr.size else 0.0
-        inertia = comm.allreduce(local_inertia)
+        inertia = allreduce(local_inertia)
         tspan.set(n_iter=n_iter, converged=converged, inertia=inertia)
     tel.metrics.histogram("kmeans.sweeps",
                           buckets=(1, 2, 4, 8, 16, 32, 64)).observe(n_iter)

@@ -22,6 +22,33 @@ shared across ranks (paper: "minimal data movement (mostly in place)").
 
 The per-point guarantee is exactly the serial one: sharing the table only
 affects bin placement, never the exactness check.
+
+**Degraded-mode recovery** (``on_rank_failure="degrade"``, the default):
+a checkpoint must still be produced when a peer rank dies or hangs
+mid-collective, so every communication step runs through the
+failure-absorbing ``*_degraded`` collectives.  Rank 0 fits the model from
+the samples of the *surviving* ranks and piggybacks the lost-rank set on
+its broadcasts, so all survivors agree on the membership and finish with
+identical statistics.  Crucially the per-point error bound is unaffected:
+the shared table only steers bin placement, and every surviving rank
+still error-checks its own points exhaustively.  The result's
+:class:`GlobalStats` then reports ``degraded=True`` with the
+``lost_ranks``, and global counts cover survivors only.  Loss of rank 0
+itself (the recovery coordinator) is always a loud
+:class:`~repro.parallel.faults.RankFailureError`, as is any failure under
+``on_rank_failure="raise"``.
+
+Failure detection is timeout-based and therefore *unreliable* in the
+theoretical sense: under extreme load a live rank can be suspected
+falsely.  Two consequences to be aware of.  A falsely-suspected rank
+that later needs data from the survivors fails loudly (it is skipped,
+times out, and raises).  And if the false suspicion strikes on the very
+last message of the encode, the suspected rank may complete cleanly
+while the root conservatively reports it lost -- views of ``degraded``/
+``lost_ranks`` can then differ between ranks, but every completed
+encode still honors the per-point bound.  Size the communicator
+``timeout`` above the longest compute phase to make false positives
+rare.
 """
 
 from __future__ import annotations
@@ -32,6 +59,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.parallel.comm import Comm, SerialComm
+from repro.telemetry.tracer import get_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import NumarckConfig
@@ -47,11 +75,16 @@ __all__ = ["parallel_encode", "GlobalStats"]
 
 @dataclass(frozen=True)
 class GlobalStats:
-    """Aggregate compression statistics across all ranks."""
+    """Aggregate compression statistics across all *surviving* ranks."""
 
     n_points: int
     n_incompressible: int
     n_bins: int
+    #: True when at least one rank was lost and the encode completed from
+    #: the survivors; global counts then cover survivors only.
+    degraded: bool = False
+    #: ranks lost during this encode (empty on a clean run).
+    lost_ranks: tuple[int, ...] = ()
 
     @property
     def incompressible_ratio(self) -> float:
@@ -80,6 +113,7 @@ def parallel_encode(
     sample_per_rank: int = 32_768,
     refine: bool = True,
     fit_mode: str = "sample",
+    on_rank_failure: str = "degrade",
 ) -> tuple[EncodedIteration, GlobalStats]:
     """SPMD encode of one iteration; call on every rank with its shard.
 
@@ -97,6 +131,15 @@ def parallel_encode(
       O(bins) allreduce merges them and every rank fits the identical
       weighted-k-means model locally.  Communication is constant in both
       data size and rank count; only meaningful for ``"clustering"``.
+
+    ``on_rank_failure`` selects the failure semantics:
+
+    * ``"degrade"`` (default) -- survive lost peers: the model is fitted
+      from the surviving ranks' data and the returned stats carry
+      ``degraded=True`` plus the ``lost_ranks``.  The per-point error
+      bound E still holds on every surviving rank.
+    * ``"raise"`` -- any lost peer raises
+      :class:`~repro.parallel.faults.RankFailureError`.
     """
     from repro.core.config import NumarckConfig
     from repro.core.encoder import EncodedIteration, _fit_model
@@ -112,90 +155,121 @@ def parallel_encode(
 
     if fit_mode not in ("sample", "sketch"):
         raise ValueError(f"unknown fit_mode {fit_mode!r}")
+    if on_rank_failure not in ("degrade", "raise"):
+        raise ValueError(f"unknown on_rank_failure {on_rank_failure!r}")
+    degrade = on_rank_failure == "degrade"
+    _gather = comm.gather_degraded if degrade else comm.gather
+    _bcast = comm.bcast_degraded if degrade else comm.bcast
+    _allreduce = comm.allreduce_degraded if degrade else comm.allreduce
 
-    ratios, forced, cand_mask = _local_candidates(prev, curr, cfg)
-    cand = ratios[cand_mask]
+    tel = get_telemetry()
+    with tel.span("insitu.parallel_encode", rank=comm.rank, size=comm.size,
+                  n_local=int(np.asarray(curr).size)) as tspan:
+        ratios, forced, cand_mask = _local_candidates(prev, curr, cfg)
+        cand = ratios[cand_mask]
 
-    if fit_mode == "sketch":
-        # -- mergeable-sketch fit: O(bins) allreduce, local deterministic fit
-        from repro.analysis.sketch import RatioSketch
+        if fit_mode == "sketch":
+            # -- mergeable-sketch fit: O(bins) allreduce, local deterministic fit
+            from repro.analysis.sketch import RatioSketch
 
-        sketch = RatioSketch(cfg.error_bound).add(cand)
-        sketch.counts = comm.allreduce(sketch.counts)
-        if sketch.total:
-            reps = sketch.fit_model(cfg.n_bins,
-                                    max_iter=cfg.kmeans_max_iter).representatives
-        else:
-            reps = np.empty(0)
-    else:
-        # -- bounded-sample gather and root-side model fit -------------------
-        rng = np.random.default_rng(cfg.seed + comm.rank)
-        if cand.size > sample_per_rank:
-            idx = rng.choice(cand.size, size=sample_per_rank - 2, replace=False)
-            sample = np.concatenate([cand[idx], [cand.min(), cand.max()]])
-        else:
-            sample = cand
-        gathered = comm.gather(sample, root=0)
-        if comm.rank == 0:
-            all_samples = np.concatenate([g for g in gathered if g.size]) \
-                if any(g.size for g in gathered) else np.empty(0)
-            if all_samples.size:
-                model = _fit_model(all_samples, cfg)
-                reps = model.representatives
+            sketch = RatioSketch(cfg.error_bound).add(cand)
+            with comm.phase("insitu.sketch_allreduce"):
+                sketch.counts = _allreduce(sketch.counts)
+            if sketch.total:
+                reps = sketch.fit_model(cfg.n_bins,
+                                        max_iter=cfg.kmeans_max_iter).representatives
             else:
                 reps = np.empty(0)
         else:
-            reps = None
-        reps = comm.bcast(reps, root=0)
+            # -- bounded-sample gather and root-side model fit ---------------
+            rng = np.random.default_rng(cfg.seed + comm.rank)
+            if cand.size > sample_per_rank:
+                idx = rng.choice(cand.size, size=sample_per_rank - 2, replace=False)
+                sample = np.concatenate([cand[idx], [cand.min(), cand.max()]])
+            else:
+                sample = cand
+            with comm.phase("insitu.sample_gather"):
+                gathered = _gather(sample, root=0)
+            if comm.rank == 0:
+                live = [g for g in (gathered or [])
+                        if g is not None and g.size]
+                all_samples = np.concatenate(live) if live else np.empty(0)
+                if all_samples.size:
+                    model = _fit_model(all_samples, cfg)
+                    reps = model.representatives
+                else:
+                    reps = np.empty(0)
+                payload = (reps, comm.lost_ranks)
+            else:
+                payload = None
+            with comm.phase("insitu.fit_bcast"):
+                payload = _bcast(payload, root=0)
+            reps, lost_at_fit = payload
+            # Survivors adopt the root's view of the membership so later
+            # collectives skip the casualties without re-detecting them.
+            comm.note_lost(lost_at_fit)
 
-    # -- optional distributed Lloyd refinement (paper's parallel k-means) ---
-    if refine and cfg.strategy == "clustering" and reps.size > 1:
-        refined = parallel_kmeans1d(comm, cand, reps,
-                                    max_iter=cfg.kmeans_max_iter)
-        candidate = np.unique(refined.centroids)
-        # Safeguard as in the serial strategy: keep the refinement only if
-        # it does not cover fewer local+global points than the root fit.
-        def global_fails(table: np.ndarray) -> int:
-            m = BinModel(table)
-            local = int(np.count_nonzero(
-                np.abs(m.approximate(cand) - cand) >= cfg.error_bound
-            )) if cand.size else 0
-            return comm.allreduce(local)
+        # -- optional distributed Lloyd refinement (paper's parallel k-means)
+        if refine and cfg.strategy == "clustering" and reps.size > 1:
+            with comm.phase("insitu.refine"):
+                refined = parallel_kmeans1d(comm, cand, reps,
+                                            max_iter=cfg.kmeans_max_iter,
+                                            on_rank_failure=on_rank_failure)
+                candidate = np.unique(refined.centroids)
+                # Safeguard as in the serial strategy: keep the refinement
+                # only if it does not cover fewer local+global points than
+                # the root fit.
+                def global_fails(table: np.ndarray) -> int:
+                    m = BinModel(table)
+                    local = int(np.count_nonzero(
+                        np.abs(m.approximate(cand) - cand) >= cfg.error_bound
+                    )) if cand.size else 0
+                    return _allreduce(local)
 
-        if global_fails(candidate) <= global_fails(reps):
-            reps = candidate
+                if global_fails(candidate) <= global_fails(reps):
+                    reps = candidate
 
-    # -- exhaustive local assignment and exactness check --------------------
-    n = ratios.size
-    indices = np.zeros(n, dtype=np.uint32)
-    incompressible = forced.copy()
-    cand_idx = np.flatnonzero(cand_mask)
-    if cand_idx.size:
-        if reps.size:
-            model = BinModel(reps)
-            labels = model.assign(ratios[cand_idx])
-            approx = reps[labels]
-            ok = np.abs(approx - ratios[cand_idx]) < cfg.error_bound
-            offset = 1 if cfg.reserve_zero_bin else 0
-            indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + offset
-            incompressible[cand_idx[~ok]] = True
-        else:
-            incompressible[cand_idx] = True
+        # -- exhaustive local assignment and exactness check ----------------
+        n = ratios.size
+        indices = np.zeros(n, dtype=np.uint32)
+        incompressible = forced.copy()
+        cand_idx = np.flatnonzero(cand_mask)
+        if cand_idx.size:
+            if reps.size:
+                model = BinModel(reps)
+                labels = model.assign(ratios[cand_idx])
+                approx = reps[labels]
+                ok = np.abs(approx - ratios[cand_idx]) < cfg.error_bound
+                offset = 1 if cfg.reserve_zero_bin else 0
+                indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + offset
+                incompressible[cand_idx[~ok]] = True
+            else:
+                incompressible[cand_idx] = True
 
-    encoded = EncodedIteration(
-        shape=curr.shape,
-        nbits=cfg.nbits,
-        representatives=np.asarray(reps, dtype=np.float64),
-        indices=indices,
-        incompressible=incompressible,
-        exact_values=curr.ravel()[incompressible].copy(),
-        error_bound=cfg.error_bound,
-        strategy=cfg.strategy,
-        zero_reserved=cfg.reserve_zero_bin,
-    )
-    stats = GlobalStats(
-        n_points=comm.allreduce(n),
-        n_incompressible=comm.allreduce(int(incompressible.sum())),
-        n_bins=int(np.asarray(reps).size),
-    )
+        encoded = EncodedIteration(
+            shape=curr.shape,
+            nbits=cfg.nbits,
+            representatives=np.asarray(reps, dtype=np.float64),
+            indices=indices,
+            incompressible=incompressible,
+            exact_values=curr.ravel()[incompressible].copy(),
+            error_bound=cfg.error_bound,
+            strategy=cfg.strategy,
+            zero_reserved=cfg.reserve_zero_bin,
+        )
+        with comm.phase("insitu.stats"):
+            n_points_global = _allreduce(n)
+            n_incompressible_global = _allreduce(int(incompressible.sum()))
+        lost = comm.lost_ranks
+        stats = GlobalStats(
+            n_points=n_points_global,
+            n_incompressible=n_incompressible_global,
+            n_bins=int(np.asarray(reps).size),
+            degraded=bool(lost),
+            lost_ranks=tuple(lost),
+        )
+        tspan.set(degraded=stats.degraded, n_lost=len(lost),
+                  n_bins=stats.n_bins)
+        if stats.degraded:
+            tel.metrics.counter("insitu.degraded_encodes").inc()
     return encoded, stats

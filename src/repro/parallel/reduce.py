@@ -6,6 +6,13 @@ classic recursive-halving/doubling pattern (O(log p) rounds) used by real
 MPI libraries; it exists both as a faster option for larger rank counts and
 as a documented, testable example of writing a collective against the
 point-to-point layer.
+
+Failure semantics: the tree exchanges peer-to-peer (not root-coordinated),
+so there is no degraded variant -- a lost partner surfaces as a
+:class:`~repro.parallel.faults.RankFailureError` from the underlying
+bounded-wait ``send``/``recv`` on every rank that depended on it.  Callers
+that need to survive rank loss should use
+:meth:`~repro.parallel.Comm.allreduce_degraded` instead.
 """
 
 from __future__ import annotations

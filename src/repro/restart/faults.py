@@ -20,6 +20,15 @@ Two fault families compose:
   (``load_chain(..., recover="tail")``), which keeps every
   already-persisted checkpoint and loses at most the one being written.
 
+A third family lives in :mod:`repro.parallel.faults`:
+:class:`~repro.parallel.faults.RankFaultInjector` strikes the
+*communication* path of distributed encoding (rank crash, hang, message
+drop, bit flip, transient I/O error) the same way
+:class:`DiskFaultInjector` strikes the persistence path -- same 1-based
+fire-once schedules, same injectable-hook design.  The two compose: a
+simulation can lose a rank mid-encode, complete the checkpoint degraded,
+and then tear the write persisting it.
+
 Persistence is incremental (:meth:`RestartManager.persist_incremental`):
 each checkpoint appends O(1) fsynced records per variable instead of
 rewriting the whole file, so a run of ``n`` checkpoints costs O(n) record

@@ -11,6 +11,12 @@ clustering, encoding and I/O.  This package instruments those stages:
 * **Metrics** (:mod:`repro.telemetry.metrics`): counters, gauges and
   fixed-bucket histograms -- bytes written, ``fsync`` count, records
   salvaged, Lloyd sweeps to convergence, incompressible fraction.
+  Fault-tolerant communication adds ``comm.rank_failures``,
+  ``comm.transient_retries``, ``comm.resends``, ``comm.crc_errors``,
+  ``spmd.respawns``, ``insitu.degraded_encodes`` and the
+  ``comm.failure_detect_s`` detection-latency histogram, plus
+  zero-duration ``comm.rank_failure`` spans marking each first
+  detection.
 * **Trace export** (:mod:`repro.telemetry.sink`): append-only JSONL with
   torn-tail-tolerant reading, mirroring the checkpoint store's
   crash-consistency discipline.

@@ -1,10 +1,15 @@
-"""Distributed k-means: serial equivalence and SPMD execution."""
+"""Distributed k-means: serial equivalence, SPMD execution, degraded mode."""
 
 import numpy as np
 import pytest
 
 from repro.kmeans import histogram_init, kmeans1d, parallel_kmeans1d
-from repro.parallel import SerialComm, block_partition, run_spmd
+from repro.parallel import (
+    RankFaultInjector,
+    SerialComm,
+    block_partition,
+    run_spmd,
+)
 
 
 class TestSerialEquivalence:
@@ -61,3 +66,35 @@ class TestSPMD:
         for cent, inertia, _ in results:
             np.testing.assert_allclose(cent, ref.centroids, rtol=1e-12)
             assert inertia == pytest.approx(ref.inertia, rel=1e-9)
+
+
+def _degrade_kmeans(comm, shards, init):
+    res = parallel_kmeans1d(comm, shards[comm.rank], init, max_iter=30,
+                            on_rank_failure="degrade")
+    return comm.rank, res.centroids, res.inertia
+
+
+class TestDegradedMode:
+    def test_invalid_mode_rejected(self, rng):
+        with pytest.raises(ValueError, match="on_rank_failure"):
+            parallel_kmeans1d(SerialComm(), rng.normal(size=10),
+                              np.array([0.0]), on_rank_failure="ignore")
+
+    def test_survivors_agree_after_rank_loss(self, rng):
+        """Crash a rank mid-iteration: survivors converge to the k-means
+        of the surviving shards, with identical centroids everywhere."""
+        data = rng.normal(size=600)
+        init = histogram_init(data, 8)
+        shards = block_partition(data, 3)
+        # The 5th allreduce lands inside the Lloyd sweep loop.
+        outcomes = run_spmd(
+            _degrade_kmeans, 3, shards, init, strict=False,
+            comm_timeout=1.5, timeout=30.0,
+            faults={1: RankFaultInjector(crash_at=(5,))})
+        assert not outcomes[1].ok
+        survivors = [o for o in outcomes if o.rank != 1]
+        assert all(o.ok for o in survivors)
+        cents = [o.value[1] for o in survivors]
+        np.testing.assert_array_equal(cents[0], cents[1])
+        assert survivors[0].value[2] == pytest.approx(
+            survivors[1].value[2], rel=1e-9)
