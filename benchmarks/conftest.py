@@ -20,7 +20,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import NumarckCompressor, NumarckConfig
+from repro.codec import Codec
+from repro.core import NumarckConfig
 from repro.simulations.cmip import CmipSimulation
 from repro.simulations.flash import FlashSimulation
 
@@ -121,7 +122,7 @@ def cmip_trajectory(variable: str, n_iters: int, nlat: int = 90,
 
 def series_stats(trajectory: list[np.ndarray], config: NumarckConfig):
     """Per-iteration CompressionStats along a trajectory."""
-    comp = NumarckCompressor(config)
+    comp = Codec(config)
     out = []
     for prev, curr in zip(trajectory, trajectory[1:]):
         out.append(comp.stats(prev, curr))

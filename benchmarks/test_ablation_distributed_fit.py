@@ -20,7 +20,7 @@ import numpy as np
 
 from benchmarks.conftest import cmip_trajectory
 from repro.analysis import format_table
-from repro.core import NumarckConfig, encode_iteration
+from repro.core import NumarckConfig, encode_pair
 from repro.parallel import block_partition, parallel_encode, run_spmd
 
 N_RANKS = 2
@@ -39,7 +39,7 @@ def _run():
     cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
     traj = cmip_trajectory("rlds", 1)
     prev, curr = traj[0], traj[1]
-    serial = encode_iteration(prev, curr, cfg).incompressible_ratio
+    serial = encode_pair(prev, curr, cfg)[0].incompressible_ratio
 
     prev_shards = block_partition(prev.ravel(), N_RANKS)
     curr_shards = block_partition(curr.ravel(), N_RANKS)

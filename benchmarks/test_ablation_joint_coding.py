@@ -11,7 +11,7 @@ uncorrelated pairing.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import NumarckConfig, decode_joint, encode_iteration, encode_joint
+from repro.core import NumarckConfig, decode_joint, encode_joint, encode_pair
 
 PAIRS = [("pres", "temp"), ("eint", "ener"), ("dens", "velz")]
 
@@ -20,7 +20,7 @@ def _separate_bits(prev, curr, cfg, variables):
     bits = 0
     n = prev[variables[0]].size
     for v in variables:
-        enc = encode_iteration(prev[v], curr[v], cfg)
+        enc, _ = encode_pair(prev[v], curr[v], cfg)
         bits += n * cfg.nbits + n + enc.exact_values.size * 64 + 255 * 64
     return bits
 

@@ -14,14 +14,14 @@ from benchmarks.conftest import cmip_trajectory
 from repro.analysis import format_table, word_entropy
 from repro.baselines import huffman_decode, huffman_encode
 from repro.bitpack import pack_bits
-from repro.core import NumarckConfig, encode_iteration
+from repro.core import NumarckConfig, encode_pair
 
 
 def _run():
     traj = cmip_trajectory("rlds", 1)
     prev, curr = traj[0], traj[1]
     cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-    enc = encode_iteration(prev, curr, cfg)
+    enc, _ = encode_pair(prev, curr, cfg)
 
     packed = pack_bits(enc.indices, enc.nbits)
     packed_z = zlib.compress(packed, 6)

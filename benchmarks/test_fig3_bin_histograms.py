@@ -11,7 +11,7 @@ occupied range).
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import NumarckConfig, change_ratios, encode_iteration
+from repro.core import NumarckConfig, change_ratios, encode_pair
 
 
 def _run(flash_trajectory):
@@ -20,7 +20,7 @@ def _run(flash_trajectory):
     results = {}
     for strat in ("equal_width", "log_scale", "clustering"):
         cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy=strat)
-        enc = encode_iteration(prev, curr, cfg)
+        enc, _ = encode_pair(prev, curr, cfg)
         occ = np.bincount(enc.indices[enc.indices > 0] - 1,
                           minlength=max(enc.representatives.size, 1))
         results[strat] = (enc, occ)

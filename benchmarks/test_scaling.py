@@ -10,7 +10,7 @@ import time
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import NumarckConfig, encode_iteration
+from repro.core import NumarckConfig, encode_pair
 
 
 def _pair(n, rng):
@@ -22,7 +22,7 @@ def _time_encode(prev, curr, cfg, repeats=3):
     best = np.inf
     for _ in range(repeats):
         t0 = time.perf_counter()
-        encode_iteration(prev, curr, cfg)
+        encode_pair(prev, curr, cfg)
         best = min(best, time.perf_counter() - t0)
     return best
 

@@ -15,7 +15,8 @@ from benchmarks.conftest import (
 )
 from repro.analysis import format_table
 from repro.baselines import BSplineCompressor, IsabelaCompressor
-from repro.core import NumarckCompressor, NumarckConfig, pearson_r, rmse
+from repro import Codec
+from repro.core import NumarckConfig, pearson_r, rmse
 
 N_ITERS = 4
 
@@ -32,7 +33,7 @@ def _run(flash_trajectory):
         else:
             traj = [cp[var] for cp in flash_trajectory][: N_ITERS + 1]
             nbits, w0 = 8, 256
-        comp = NumarckCompressor(
+        comp = Codec(
             NumarckConfig(error_bound=5e-3, nbits=nbits, strategy="clustering")
         )
         bs = BSplineCompressor(coef_fraction=0.8)

@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro.bitpack import pack_bits, unpack_bits
-from repro.core import NumarckCompressor, NumarckConfig, decode_iteration
+from repro import Codec
+from repro.core import NumarckConfig, decode_iteration
 from repro.kmeans import assign1d, histogram_init, kmeans1d
 
 N = 200_000
@@ -27,7 +28,7 @@ def pair():
 
 def test_encode_clustering_throughput(benchmark, pair):
     prev, curr = pair
-    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
+    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
                                            strategy="clustering"))
     enc = benchmark(comp.compress, prev, curr)
     assert enc.n_points == N
@@ -35,7 +36,7 @@ def test_encode_clustering_throughput(benchmark, pair):
 
 def test_encode_equal_width_throughput(benchmark, pair):
     prev, curr = pair
-    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
+    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
                                            strategy="equal_width"))
     enc = benchmark(comp.compress, prev, curr)
     assert enc.n_points == N
@@ -43,7 +44,7 @@ def test_encode_equal_width_throughput(benchmark, pair):
 
 def test_decode_throughput(benchmark, pair):
     prev, curr = pair
-    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8))
+    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
     enc = comp.compress(prev, curr)
     out = benchmark(decode_iteration, prev, enc)
     assert out.shape == (N,)

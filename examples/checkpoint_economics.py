@@ -10,7 +10,8 @@ Run:  python examples/checkpoint_economics.py
 
 import numpy as np
 
-from repro.core import NumarckCompressor, NumarckConfig
+from repro import Codec
+from repro.core import NumarckConfig
 from repro.resilience import (
     CheckpointCostModel,
     expected_makespan,
@@ -23,7 +24,7 @@ from repro.simulations.flash import FlashSimulation
 sim = FlashSimulation("sedov", ny=64, nx=64, steps_per_checkpoint=3)
 for _ in range(4):
     sim.advance()
-comp = NumarckCompressor(NumarckConfig(error_bound=5e-3, nbits=8,
+comp = Codec(NumarckConfig(error_bound=5e-3, nbits=8,
                                        strategy="clustering"))
 ratios = []
 prev = sim.checkpoint()

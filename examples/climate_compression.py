@@ -8,7 +8,8 @@ import numpy as np
 
 from repro.analysis import format_table, summarize_changes
 from repro.baselines import BSplineCompressor, IsabelaCompressor
-from repro.core import NumarckCompressor, NumarckConfig, pearson_r, rmse
+from repro import Codec
+from repro.core import NumarckConfig, pearson_r, rmse
 from repro.simulations.cmip import CMIP_VARIABLES, CmipSimulation
 
 E = 5e-3  # the paper's Table I setting: 0.5 % tolerance
@@ -24,7 +25,7 @@ for var in CMIP_VARIABLES:
     summary = summarize_changes(traj[0], traj[1])
     for strat in ("equal_width", "log_scale", "clustering"):
         cfg = NumarckConfig(error_bound=E, nbits=9, strategy=strat)
-        comp = NumarckCompressor(cfg)
+        comp = Codec(cfg)
         stats = [comp.stats(p, c) for p, c in zip(traj, traj[1:])]
         rows_strategy.append([
             var, strat,
@@ -35,7 +36,7 @@ for var in CMIP_VARIABLES:
 
     # Baselines on the final iteration.
     curr = traj[-1]
-    comp = NumarckCompressor(NumarckConfig(error_bound=E, nbits=9))
+    comp = Codec(NumarckConfig(error_bound=E, nbits=9))
     out, _, stats = comp.roundtrip(traj[-2], curr)
     bs = BSplineCompressor(0.8)
     isa = IsabelaCompressor(512, 30)

@@ -22,7 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import NumarckCompressor, NumarckConfig
+from repro import Codec
+from repro.core import NumarckConfig
 from repro.io import load_chain
 from repro.restart import RestartManager
 from repro.simulations.flash import FLASH_VARIABLES, FlashSimulation
@@ -91,7 +92,7 @@ traces = {}
 for strategy in ("equal_width", "clustering"):
     run_tel = Telemetry()
     with use(run_tel):
-        comp = NumarckCompressor(
+        comp = Codec(
             NumarckConfig(error_bound=1e-3, nbits=8, strategy=strategy))
         comp.decompress(prev, comp.compress(prev, curr))
     traces[strategy] = [s.to_dict() for s in run_tel.spans]

@@ -5,7 +5,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import NumarckCompressor, NumarckConfig
+from repro import Codec, NumarckConfig
 
 # Two consecutive "checkpoints": one million points whose values drift by
 # ~0.2 % per iteration -- the temporal pattern NUMARCK exploits.
@@ -16,7 +16,7 @@ current = previous * (1.0 + rng.normal(0.0, 0.002, size=previous.size))
 # User knobs: a hard 0.1 % per-point error bound on the change ratio, 8-bit
 # indices, and the paper's best strategy (k-means clustering).
 config = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-compressor = NumarckCompressor(config)
+compressor = Codec(config)
 
 encoded = compressor.compress(previous, current)
 decoded = compressor.decompress(previous, encoded)

@@ -9,7 +9,8 @@ Run:  python examples/streaming_large_arrays.py
 
 import numpy as np
 
-from repro.core import NumarckConfig, StreamingEncoder, decode_stream
+from repro import Codec
+from repro.core import NumarckConfig, decode_stream
 
 N = 4_000_000          # "large": stands in for a many-GB checkpoint
 CHUNK = 1 << 18        # 256k points per chunk -> ~2 MB peak per array
@@ -19,12 +20,12 @@ prev = rng.uniform(1.0, 2.0, N)
 curr = prev * (1.0 + rng.normal(0.0, 0.002, N))
 
 n_chunks = -(-N // CHUNK)
-encoder = StreamingEncoder(NumarckConfig(error_bound=1e-3, nbits=8),
-                           chunk_size=CHUNK, sample_size=100_000)
+codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8),
+              chunk_size=CHUNK, sample_size=100_000)
 
 # In production the factories would read chunks from disk / the simulation;
 # here they replay views of the in-memory arrays.
-streamed = encoder.encode(
+streamed = codec.compress_stream(
     lambda: iter(np.array_split(prev, n_chunks)),
     lambda: iter(np.array_split(curr, n_chunks)),
 )

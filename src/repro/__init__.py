@@ -9,12 +9,16 @@ ratios, with a hard user-specified per-point error bound.
 Quick start::
 
     import numpy as np
-    from repro import NumarckCompressor, NumarckConfig
+    from repro import Codec, NumarckConfig
 
-    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
-                                           strategy="clustering"))
-    encoded = comp.compress(prev_iteration, curr_iteration)
-    decoded = comp.decompress(prev_iteration, encoded)
+    codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+                                strategy="clustering"))
+    encoded = codec.compress(prev_iteration, curr_iteration)
+    decoded = codec.decompress(prev_iteration, encoded)
+
+For chain-shaped workloads, ``NumarckConfig(adaptive=True)`` caches the
+fitted bin model across iterations and refits only on distribution drift
+-- the fit stage disappears from the steady-state hot path.
 
 Sub-packages
 ------------
@@ -39,7 +43,11 @@ Sub-packages
     entropy and change-distribution diagnostics.
 """
 
+# NOTE: repro.core must be imported before repro.codec -- repro.core's
+# __init__ pulls in the deprecated pipeline shim, which subclasses Codec,
+# and importing repro.codec first would re-enter repro.core mid-init.
 from repro.core import (
+    AdaptiveEncoder,
     CheckpointChain,
     CompressionStats,
     ConfigError,
@@ -55,10 +63,13 @@ from repro.core import (
     pearson_r,
     rmse,
 )
+from repro.codec import Codec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Codec",
+    "AdaptiveEncoder",
     "NumarckCompressor",
     "NumarckConfig",
     "CheckpointChain",

@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import NumarckConfig
-from repro.core.encoder import encode_iteration
+from repro.core.encoder import encode_pair
 from repro.core.metrics import iteration_stats
 
 __all__ = ["TradeoffPoint", "sweep", "pareto_frontier"]
@@ -53,7 +53,7 @@ def sweep(prev: np.ndarray, curr: np.ndarray,
     for e in error_bounds:
         for b in nbits:
             cfg = NumarckConfig(error_bound=e, nbits=b, strategy=strategy)
-            enc = encode_iteration(prev, curr, cfg)
+            enc, _ = encode_pair(prev, curr, cfg)
             stats = iteration_stats(prev, curr, enc)
             points.append(TradeoffPoint(
                 error_bound=e,

@@ -71,18 +71,20 @@ def _cmip_pairs(quick: bool) -> list[tuple[np.ndarray, np.ndarray]]:
 
 
 def _compress_work(pairs, strategy: str) -> Callable[[], dict[str, Any]]:
-    from repro.core import NumarckCompressor, NumarckConfig
-    from repro.telemetry.accounting import delta_payload_nbytes
+    from repro.codec import Codec
+    from repro.core import NumarckConfig
 
-    comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8,
-                                           strategy=strategy))
+    codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+                                strategy=strategy))
 
     def work() -> dict[str, Any]:
+        from repro.telemetry.accounting import delta_payload_nbytes
+
         n_points = 0
         bytes_out = 0
         for prev, curr in pairs:
-            enc = comp.compress(prev, curr)
-            comp.decompress(prev, enc)
+            enc = codec.compress(prev, curr)
+            codec.decompress(prev, enc)
             n_points += enc.n_points
             bytes_out += delta_payload_nbytes(enc)
         return {"n_points": n_points, "bytes_out": bytes_out,
@@ -149,6 +151,54 @@ def _chain_persist(quick: bool, workdir: Path):
                 "bytes_out": int(nbytes), "n_iterations": len(states)}
 
     return work
+
+
+def _cmip_chain_pairs(quick: bool) -> list[tuple[np.ndarray, np.ndarray]]:
+    """A *stationary* 20-iteration CMIP trajectory: the adaptive reuse
+    engine's home turf (consecutive ratio distributions barely move)."""
+    from repro.simulations.cmip import CmipSimulation
+
+    nlat, nlon = (90, 144) if quick else (180, 288)
+    sim = CmipSimulation("rlus", nlat=nlat, nlon=nlon, seed=42)
+    traj = [cp["rlus"] for cp in sim.run(20)]
+    return list(zip(traj, traj[1:]))
+
+
+def _chain_codec_work(pairs, *, adaptive: bool) -> Callable[[], dict[str, Any]]:
+    from repro.codec import Codec
+    from repro.core import NumarckConfig
+
+    config = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering",
+                           adaptive=adaptive)
+
+    def work() -> dict[str, Any]:
+        from repro.telemetry.accounting import delta_payload_nbytes
+
+        codec = Codec(config)  # fresh model cache: repeats stay independent
+        n_points = 0
+        bytes_out = 0
+        hits = 0
+        for prev, curr in pairs:
+            enc = codec.compress(prev, curr)
+            n_points += enc.n_points
+            bytes_out += delta_payload_nbytes(enc)
+            hits += int(enc.model_reused)
+        return {"n_points": n_points, "bytes_out": bytes_out,
+                "n_pairs": len(pairs), "reuse_hits": hits}
+
+    return work
+
+
+@_register("chain_adaptive",
+           "20-iteration stationary CMIP chain, adaptive bin-model reuse ON")
+def _chain_adaptive(quick: bool, workdir: Path):
+    return _chain_codec_work(_cmip_chain_pairs(quick), adaptive=True)
+
+
+@_register("chain_adaptive_off",
+           "same 20-iteration CMIP chain with reuse OFF (fit every step)")
+def _chain_adaptive_off(quick: bool, workdir: Path):
+    return _chain_codec_work(_cmip_chain_pairs(quick), adaptive=False)
 
 
 @_register("bitpack_roundtrip",

@@ -17,7 +17,13 @@ archives, mirroring how a simulation writes one multi-variable checkpoint::
 
 ``append`` reuses the previous delta's parameters when flags are omitted,
 so a chain stays self-consistent without repeating configuration;
-``inspect`` understands both file flavours.
+``inspect`` understands both file flavours.  When every iteration is
+already on disk, ``compress-chain`` builds the whole chain in one shot --
+with ``--adaptive`` the bin model is reused across iterations (deltas
+report ``model=reused`` under ``inspect``)::
+
+    python -m repro compress-chain chain.nmk step*.npy \
+        --error-bound 1e-3 --strategy clustering --adaptive
 
 Integrity tooling (any file flavour)::
 
@@ -66,6 +72,10 @@ def _config_from_args(args: argparse.Namespace,
         kwargs["strategy"] = args.strategy
     elif fallback is not None:
         kwargs["strategy"] = base.strategy
+    if getattr(args, "adaptive", False):
+        kwargs["adaptive"] = True
+    if getattr(args, "drift_threshold", None) is not None:
+        kwargs["drift_threshold"] = args.drift_threshold
     return NumarckConfig(**kwargs) if kwargs else NumarckConfig()
 
 
@@ -76,6 +86,12 @@ def _add_config_flags(p: argparse.ArgumentParser) -> None:
                    help="index width B (table has 2^B - 1 bins)")
     p.add_argument("--strategy", default=None,
                    choices=("equal_width", "log_scale", "clustering"))
+    p.add_argument("--adaptive", action="store_true",
+                   help="reuse the fitted bin model across iterations, "
+                        "refitting only on drift (see --drift-threshold)")
+    p.add_argument("--drift-threshold", type=float, default=None,
+                   help="refit when the incompressible fraction rises more "
+                        "than this above the last fit's (default 0.05)")
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
@@ -171,6 +187,22 @@ def _cmd_extract_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compress_chain(args: argparse.Namespace) -> int:
+    from repro.codec import Codec
+
+    codec = Codec(_config_from_args(args))
+    chain = codec.compress_chain(_load_array(p) for p in args.arrays)
+    nbytes = save_chain(args.chain, chain)
+    line = (f"{args.chain}: {len(chain)} iterations "
+            f"(1 full + {len(chain.deltas)} deltas), {nbytes:,} bytes")
+    stats = chain.reuse_stats
+    if stats is not None:
+        line += (f" | adaptive: {stats.reuse_hits}/{stats.encodes} reuse "
+                 f"hits, {stats.refits} refits")
+    print(line)
+    return 0
+
+
 def _memmap_chunks(path: str, chunk_size: int):
     """Replayable chunk-iterator factory over a memory-mapped .npy file."""
 
@@ -184,13 +216,12 @@ def _memmap_chunks(path: str, chunk_size: int):
 
 
 def _cmd_compress_stream(args: argparse.Namespace) -> int:
-    from repro.core import StreamingEncoder
+    from repro.codec import Codec
     from repro.io import save_streamed
 
-    encoder = StreamingEncoder(_config_from_args(args),
-                               chunk_size=args.chunk_size)
-    streamed = encoder.encode(_memmap_chunks(args.prev, args.chunk_size),
-                              _memmap_chunks(args.curr, args.chunk_size))
+    codec = Codec(_config_from_args(args), chunk_size=args.chunk_size)
+    streamed = codec.compress_stream(_memmap_chunks(args.prev, args.chunk_size),
+                                     _memmap_chunks(args.curr, args.chunk_size))
     nbytes = save_streamed(args.output, streamed)
     n_exact = sum(c.exact_values.size for c in streamed.chunks)
     raw = streamed.n_points * 8
@@ -256,9 +287,10 @@ def _describe_chain(name: str, chain: CheckpointChain, indent: str = "") -> None
         nbytes = record_nbytes(delta_payload_nbytes(enc))
         stored += nbytes
         raw += raw_nbytes(enc.n_points, value_bits=enc.value_bits)
+        reused = " model=reused" if enc.model_reused else ""
         print(f"{indent}  delta {i}: strategy={enc.strategy} B={enc.nbits} "
-              f"E={enc.error_bound:g} bins={enc.representatives.size} "
-              f"gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}% | "
+              f"E={enc.error_bound:g} bins={enc.representatives.size}"
+              f"{reused} gamma={enc.incompressible_ratio:.4f} R={ratio:.2f}% | "
               f"{nbytes:,} bytes, chain {stored / raw:.1%} of raw")
 
 
@@ -587,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iteration", "-i", type=int, default=None)
     p.add_argument("--output", "-o", required=True, help="output .npz file")
     p.set_defaults(func=_cmd_extract_multi)
+
+    p = sub.add_parser("compress-chain",
+                       help="build a whole chain from .npy iterations in "
+                            "one shot (first array is the full checkpoint); "
+                            "--adaptive reuses the bin model across them")
+    p.add_argument("chain", help="output .nmk chain file")
+    p.add_argument("arrays", nargs="+",
+                   help="iteration .npy arrays, in simulation order")
+    _add_config_flags(p)
+    p.set_defaults(func=_cmd_compress_chain)
 
     p = sub.add_parser("compress-stream",
                        help="chunked compression of one iteration pair "

@@ -15,15 +15,20 @@ The pipeline implements the paper's three stages:
    rebuild iteration ``i`` as ``D'_{i-1} * (1 + ratio')`` with exact values
    spliced in, chaining deltas from the last full checkpoint.
 
-Entry points: :class:`NumarckCompressor` for one-shot pair compression and
-:class:`CheckpointChain` for multi-iteration streams.
+Entry points: :class:`repro.Codec` for pair/chain/stream compression and
+:class:`CheckpointChain` for multi-iteration streams.  With
+``NumarckConfig(adaptive=True)`` the fitted bin model is cached across a
+chain's iterations and refitted only on distribution drift
+(:mod:`repro.core.adaptive`).
 """
 
+from repro.core.adaptive import AdaptiveEncoder, ReuseStats
 from repro.core.change import ChangeField, apply_change, change_ratios
 from repro.core.checkpoint import CheckpointChain
 from repro.core.config import NumarckConfig
 from repro.core.decoder import decode_iteration, decode_region
-from repro.core.encoder import EncodedIteration, encode_iteration
+from repro.core.encoder import (EncodedIteration, EncodeReport,
+                                encode_iteration, encode_pair)
 from repro.core.errors import (
     ConfigError,
     FormatError,
@@ -71,7 +76,11 @@ __all__ = [
     "change_ratios",
     "apply_change",
     "EncodedIteration",
+    "EncodeReport",
+    "encode_pair",
     "encode_iteration",
+    "AdaptiveEncoder",
+    "ReuseStats",
     "decode_iteration",
     "decode_region",
     "encode_joint",

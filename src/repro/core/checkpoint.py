@@ -21,9 +21,10 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.core.adaptive import AdaptiveEncoder
 from repro.core.config import NumarckConfig
 from repro.core.decoder import decode_iteration
-from repro.core.encoder import EncodedIteration, encode_iteration
+from repro.core.encoder import EncodedIteration, encode_pair
 from repro.core.errors import FormatError
 from repro.core.metrics import CompressionStats, iteration_stats
 
@@ -50,6 +51,10 @@ class CheckpointChain:
         self._stats: list[CompressionStats] = []
         # Reference state for the *next* append.
         self._ref = self._full.copy()
+        # With config.adaptive, appends share one stateful encoder so the
+        # fitted bin model carries across iterations (drift-validated).
+        self._adaptive = (AdaptiveEncoder(self.config)
+                          if self.config.adaptive else None)
 
     # -- writing ----------------------------------------------------------
 
@@ -60,7 +65,10 @@ class CheckpointChain:
             raise FormatError(
                 f"iteration shape {arr.shape} does not match chain shape {self._full.shape}"
             )
-        encoded = encode_iteration(self._ref, arr, self.config)
+        if self._adaptive is not None:
+            encoded = self._adaptive.encode(self._ref, arr)
+        else:
+            encoded, _ = encode_pair(self._ref, arr, self.config)
         stats = iteration_stats(self._ref, arr, encoded)
         self._deltas.append(encoded)
         self._stats.append(stats)
@@ -96,8 +104,17 @@ class CheckpointChain:
         for enc in self._deltas:
             state = decode_iteration(state, enc)
         self._ref = state
+        if self._adaptive is not None:
+            # The cached model may belong to a dropped suffix; refit cold.
+            self._adaptive.reset()
 
     # -- reading ----------------------------------------------------------
+
+    @property
+    def reuse_stats(self):
+        """Adaptive reuse counters (:class:`~repro.core.adaptive.ReuseStats`),
+        or ``None`` when the chain is not adaptive."""
+        return self._adaptive.stats if self._adaptive is not None else None
 
     def __len__(self) -> int:
         """Number of stored iterations including the full checkpoint."""

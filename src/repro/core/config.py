@@ -16,6 +16,12 @@ All tunables of the paper's Algorithm 1 live here:
   ``"reconstructed"`` is a closed-loop extension (ratio against the decoded
   previous state, as an MPEG encoder would do) that stops accumulation; it
   is measured by the delta-reference ablation bench.
+* ``adaptive`` -- reuse the fitted bin model across a chain's iterations
+  (see :mod:`repro.core.adaptive`): each timestep first validates the
+  cached table against the new ratios and refits only when the
+  incompressible fraction drifts past ``drift_threshold``.  The hard
+  per-point guarantee E is unaffected -- reuse only steers bin placement,
+  the exactness check always runs.
 """
 
 from __future__ import annotations
@@ -50,6 +56,13 @@ class NumarckConfig:
     kmeans_max_iter: int = 25
     reserve_zero_bin: bool = True
     seed: int = field(default=0)
+    #: reuse the fitted bin model across chain iterations (drift-validated).
+    adaptive: bool = False
+    #: refit trigger: cached model is dropped when the incompressible
+    #: fraction exceeds ``baseline + drift_threshold`` (absolute drift).
+    drift_threshold: float = 0.05
+    #: warm-start Lloyd from the cached centers when a refit is triggered.
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.error_bound < 1.0):
@@ -66,6 +79,10 @@ class NumarckConfig:
             raise ConfigError(f"unknown kmeans_init {self.kmeans_init!r}")
         if self.kmeans_max_iter < 1:
             raise ConfigError(f"kmeans_max_iter must be >= 1, got {self.kmeans_max_iter}")
+        if not (0.0 < self.drift_threshold <= 1.0):
+            raise ConfigError(
+                f"drift_threshold must be in (0, 1], got {self.drift_threshold!r}"
+            )
 
     @property
     def n_bins(self) -> int:

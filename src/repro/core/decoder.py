@@ -30,7 +30,7 @@ def decode_iteration(prev: np.ndarray, encoded: EncodedIteration) -> np.ndarray:
     ----------
     prev:
         The same reference array that was passed to
-        :func:`~repro.core.encoder.encode_iteration` (original previous
+        :func:`~repro.core.encoder.encode_pair` (original previous
         iterate for open-loop chains, previously decoded state for
         closed-loop or restart).
     encoded:

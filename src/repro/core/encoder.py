@@ -15,22 +15,34 @@ A point is incompressible when (a) the change ratio is undefined
 misses the true ratio by ``>= E``.  Consequently every decoded point
 satisfies the hard guarantee ``|decoded_ratio - true_ratio| < E`` or is
 bit-exact.
+
+**Model reuse** (the adaptive engine's hot path): :func:`encode_pair`
+accepts a ``model_hint`` -- a previously fitted
+:class:`~repro.core.strategies.base.BinModel`.  The hinted table is first
+*validated* against the new candidates (one vectorised assign + bound
+check); when the incompressible fraction has not drifted past
+``hint_drift`` over ``hint_baseline``, the fit stage is skipped entirely
+and the validation labels double as the encode assignment -- reuse costs
+nothing beyond the assign every encode performs anyway.  On drift the
+model is refitted (warm-starting from the cached centers when the
+strategy supports it).  Either way the per-point exactness check runs in
+full, so E holds identically in both paths.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.change import change_ratios
 from repro.core.config import NumarckConfig
-from repro.core.strategies import get_strategy
-from repro.core.strategies.base import BinModel
+from repro.core.strategies.base import ApproximationStrategy, BinModel
 from repro.telemetry.accounting import delta_payload_nbytes
 from repro.telemetry.tracer import get_telemetry
 
-__all__ = ["EncodedIteration", "encode_iteration"]
+__all__ = ["EncodedIteration", "EncodeReport", "encode_pair", "encode_iteration"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,10 @@ class EncodedIteration:
     #: 32 for float32 -- affects Eq.-3 accounting and how exact values are
     #: serialised; in memory they are always held as float64).
     value_bits: int = 64
+    #: True when this iteration reused the previous iteration's bin table
+    #: instead of fitting a fresh one (adaptive reuse hit).  The container
+    #: format stores such tables once per run of reuse hits.
+    model_reused: bool = False
 
     @property
     def n_points(self) -> int:
@@ -98,25 +114,54 @@ class EncodedIteration:
         return ratios
 
 
-def _fit_model(candidates: np.ndarray, config: NumarckConfig) -> BinModel:
-    if config.strategy == "clustering":
-        strategy = get_strategy(
-            "clustering",
-            init=config.kmeans_init,
-            max_iter=config.kmeans_max_iter,
-            seed=config.seed,
-        )
-    else:
-        strategy = get_strategy(config.strategy)
-    return strategy.fit(candidates, config.n_bins, config.error_bound)
+@dataclass(frozen=True)
+class EncodeReport:
+    """What the model-reuse gate decided for one encode.
+
+    Attributes
+    ----------
+    model_reused:
+        True when the hinted table was validated and reused (fit skipped).
+    refitted:
+        True when a hint was provided but drifted past the trigger, so a
+        fresh model was fitted.
+    drift:
+        Observed drift of the hinted table: the candidate fail fraction
+        under the hint minus ``hint_baseline``, floored at 0.  Zero when
+        no hint was given.
+    fit_fail_fraction:
+        Candidate fail fraction under the *final* table -- the baseline a
+        stateful caller should carry to the next iteration.
+    n_candidates:
+        Number of compressible candidates this encode considered.
+    """
+
+    model_reused: bool = False
+    refitted: bool = False
+    drift: float = 0.0
+    fit_fail_fraction: float = 0.0
+    n_candidates: int = 0
 
 
-def encode_iteration(
+def _fit_model(candidates: np.ndarray, config: NumarckConfig,
+               warm_start: np.ndarray | None = None) -> BinModel:
+    strategy = ApproximationStrategy.from_config(config)
+    return strategy.fit(candidates, config.n_bins, config.error_bound,
+                        warm_start=warm_start)
+
+
+def encode_pair(
     prev: np.ndarray,
     curr: np.ndarray,
     config: NumarckConfig | None = None,
-) -> EncodedIteration:
-    """Compress iteration ``curr`` as change ratios against ``prev``.
+    *,
+    model_hint: BinModel | None = None,
+    hint_baseline: float = 0.0,
+    hint_drift: float | None = None,
+    warm_start: bool = True,
+) -> tuple[EncodedIteration, EncodeReport]:
+    """Compress iteration ``curr`` against ``prev``; return the encoding
+    plus an :class:`EncodeReport` describing the model-reuse decision.
 
     Parameters
     ----------
@@ -129,6 +174,19 @@ def encode_iteration(
         The iterate to compress.
     config:
         Compression parameters; defaults to ``NumarckConfig()``.
+    model_hint:
+        A previously fitted bin table to try first.  With ``hint_drift``
+        set, the hint is validated and dropped on drift; with
+        ``hint_drift=None`` it is used unconditionally (the distributed
+        encoder's broadcast-table path).
+    hint_baseline:
+        Candidate fail fraction when the hint was last accepted; drift is
+        measured relative to this.
+    hint_drift:
+        Maximum tolerated drift before a refit (absolute increase of the
+        fail fraction).  ``None`` disables the gate.
+    warm_start:
+        On refit, seed the strategy from the hint's representatives.
     """
     cfg = config if config is not None else NumarckConfig()
     curr_dtype = np.asarray(curr).dtype
@@ -158,21 +216,57 @@ def encode_iteration(
 
         cand_idx = np.flatnonzero(candidate_mask)
         representatives = np.empty(0, dtype=np.float64)
+        reused = False
+        refitted = False
+        drift = 0.0
+        fail_fraction = 0.0
         if cand_idx.size:
             candidates = ratios[cand_idx]
-            with tel.span("encode.fit", n_candidates=int(cand_idx.size)):
-                model = _fit_model(candidates, cfg)
+            model: BinModel | None = None
+            labels = approx = fail = None
+            if model_hint is not None and model_hint.n_bins:
+                # Validate the cached table: one assign + bound check.  On
+                # a reuse hit these labels ARE the encode assignment, so
+                # validation costs nothing extra.
+                with tel.span("adaptive.validate",
+                              n_candidates=int(cand_idx.size)) as vspan:
+                    labels = model_hint.assign(candidates)
+                    approx = model_hint.representatives[labels]
+                    fail = np.abs(approx - candidates) >= e
+                    fail_fraction = float(fail.mean())
+                    drift = max(0.0, fail_fraction - hint_baseline)
+                    reused = hint_drift is None or drift <= hint_drift
+                    vspan.set(drift=drift, reused=reused)
+                tel.metrics.gauge("adaptive.drift").set(drift)
+                if reused:
+                    model = model_hint
+                    tel.metrics.counter("adaptive.reuse_hits").inc()
+            if model is None:
+                with tel.span("encode.fit", n_candidates=int(cand_idx.size)):
+                    ws = (model_hint.representatives
+                          if model_hint is not None and warm_start else None)
+                    model = _fit_model(candidates, cfg, warm_start=ws)
+                if model_hint is not None:
+                    refitted = True
+                    tel.metrics.counter("adaptive.refits").inc()
+                with tel.span("encode.assign", n_candidates=int(cand_idx.size)):
+                    labels = model.assign(candidates)
+                    approx = model.representatives[labels]
+                    fail = np.abs(approx - candidates) >= e
+                fail_fraction = float(fail.mean())
             representatives = model.representatives
-            with tel.span("encode.assign", n_candidates=int(cand_idx.size)):
-                labels = model.assign(candidates)
-                approx = representatives[labels]
-                fail = np.abs(approx - candidates) >= e
-                ok = ~fail
-                if cfg.reserve_zero_bin:
-                    indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + 1
-                else:
-                    indices[cand_idx[ok]] = labels[ok].astype(np.uint32)
-                incompressible[cand_idx[fail]] = True
+            ok = ~fail
+            if cfg.reserve_zero_bin:
+                indices[cand_idx[ok]] = labels[ok].astype(np.uint32) + 1
+            else:
+                indices[cand_idx[ok]] = labels[ok].astype(np.uint32)
+            incompressible[cand_idx[fail]] = True
+        elif model_hint is not None and model_hint.n_bins:
+            # Nothing to fit: trivially a reuse hit (all points unchanged
+            # or exact), and the cached table stays live for the chain.
+            representatives = model_hint.representatives
+            reused = True
+            tel.metrics.counter("adaptive.reuse_hits").inc()
 
         exact_values = np.asarray(curr, dtype=np.float64).ravel()[incompressible].copy()
         indices[incompressible] = 0
@@ -194,12 +288,47 @@ def encode_iteration(
             strategy=cfg.strategy,
             zero_reserved=cfg.reserve_zero_bin,
             value_bits=value_bits,
+            model_reused=reused,
         )
         tspan.set(bytes_out=delta_payload_nbytes(enc),
                   gamma=enc.incompressible_ratio,
-                  n_bins=int(representatives.size))
+                  n_bins=int(representatives.size),
+                  model_reused=reused)
     tel.metrics.histogram(
         "encode.incompressible_fraction",
         buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
     ).observe(enc.incompressible_ratio)
+    report = EncodeReport(
+        model_reused=reused,
+        refitted=refitted,
+        drift=drift,
+        fit_fail_fraction=fail_fraction,
+        n_candidates=int(cand_idx.size),
+    )
+    return enc, report
+
+
+def encode_iteration(
+    prev: np.ndarray,
+    curr: np.ndarray,
+    config: NumarckConfig | None = None,
+    *,
+    model_hint: BinModel | None = None,
+) -> EncodedIteration:
+    """Compress iteration ``curr`` as change ratios against ``prev``.
+
+    .. deprecated::
+        Use :class:`repro.Codec` (``Codec(config).compress(prev, curr)``)
+        or :func:`encode_pair` when the reuse report is needed.
+
+    ``model_hint`` forwards to :func:`encode_pair`; without a drift gate
+    the hinted table is used unconditionally.
+    """
+    warnings.warn(
+        "encode_iteration() is deprecated; use repro.Codec(config)"
+        ".compress(prev, curr) or repro.core.encoder.encode_pair()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    enc, _ = encode_pair(prev, curr, config, model_hint=model_hint)
     return enc

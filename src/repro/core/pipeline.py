@@ -1,64 +1,46 @@
-"""High-level one-shot compression API.
+"""High-level one-shot compression API (deprecated shim).
 
-:class:`NumarckCompressor` wraps encode/decode/stats for a single pair of
-iterations -- the unit of work the paper's evaluation (Figs 3-7, Tables
-I-II) measures -- and offers an optional data-parallel encode path that
-partitions the points across a :class:`repro.parallel.Comm`.
+:class:`NumarckCompressor` was the original facade over encode/decode/
+stats for a single pair of iterations.  It is now a thin deprecated shim
+over :class:`repro.Codec`, which unifies pairs, chains and chunked streams
+behind one configured object:
+
+>>> import numpy as np
+>>> from repro import Codec, NumarckConfig
+>>> rng = np.random.default_rng(0)
+>>> prev = rng.uniform(1.0, 2.0, size=1000)
+>>> curr = prev * (1.0 + rng.normal(0.0, 0.002, size=1000))
+>>> codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+>>> enc = codec.compress(prev, curr)
+>>> out = codec.decompress(prev, enc)
+>>> bool(np.all(np.abs(out / prev - curr / prev) < 1e-3 + 1e-12))
+True
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
+from repro.codec import Codec
 from repro.core.config import NumarckConfig
-from repro.core.decoder import decode_iteration
-from repro.core.encoder import EncodedIteration, encode_iteration
-from repro.core.metrics import CompressionStats, iteration_stats
-from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["NumarckCompressor"]
 
 
-class NumarckCompressor:
+class NumarckCompressor(Codec):
     """Stateless facade over the NUMARCK pipeline.
 
-    Examples
-    --------
-    >>> import numpy as np
-    >>> from repro import NumarckCompressor, NumarckConfig
-    >>> rng = np.random.default_rng(0)
-    >>> prev = rng.uniform(1.0, 2.0, size=1000)
-    >>> curr = prev * (1.0 + rng.normal(0.0, 0.002, size=1000))
-    >>> comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8))
-    >>> enc = comp.compress(prev, curr)
-    >>> out = comp.decompress(prev, enc)
-    >>> bool(np.all(np.abs(out / prev - curr / prev) < 1e-3 + 1e-12))
-    True
+    .. deprecated::
+        Use :class:`repro.Codec`; the method names are unchanged
+        (``compress`` / ``decompress`` / ``stats`` / ``roundtrip``), so
+        migration is the constructor swap.
     """
 
     def __init__(self, config: NumarckConfig | None = None) -> None:
-        self.config = config if config is not None else NumarckConfig()
-
-    def compress(self, prev: np.ndarray, curr: np.ndarray) -> EncodedIteration:
-        """Encode ``curr`` against reference ``prev``."""
-        with get_telemetry().span("pipeline.compress",
-                                  strategy=self.config.strategy):
-            return encode_iteration(prev, curr, self.config)
-
-    def decompress(self, prev: np.ndarray, encoded: EncodedIteration) -> np.ndarray:
-        """Decode an iteration against the same reference it was encoded with."""
-        with get_telemetry().span("pipeline.decompress"):
-            return decode_iteration(prev, encoded)
-
-    def stats(self, prev: np.ndarray, curr: np.ndarray,
-              encoded: EncodedIteration | None = None) -> CompressionStats:
-        """Compression statistics for a pair (encodes if not already done)."""
-        enc = encoded if encoded is not None else self.compress(prev, curr)
-        return iteration_stats(prev, curr, enc)
-
-    def roundtrip(self, prev: np.ndarray, curr: np.ndarray,
-                  ) -> tuple[np.ndarray, EncodedIteration, CompressionStats]:
-        """Encode, decode and summarise one pair in one call."""
-        enc = self.compress(prev, curr)
-        out = self.decompress(prev, enc)
-        return out, enc, iteration_stats(prev, curr, enc)
+        warnings.warn(
+            "NumarckCompressor is deprecated; use repro.Codec(config) "
+            "(same compress/decompress/stats/roundtrip methods)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(config)

@@ -11,8 +11,13 @@ one iteration:
 * :class:`ClusteringStrategy` (paper II-C3): 1-D k-means seeded from the
   equal-width histogram; cluster centroids become the representatives.
 
-Strategies are stateless and selected by name through :func:`get_strategy`.
+Strategies are selected from a :class:`~repro.core.config.NumarckConfig`
+through :meth:`ApproximationStrategy.from_config`, the one construction
+path (the old :func:`get_strategy` name/kwargs helper is a deprecated
+shim over it).
 """
+
+import warnings
 
 from repro.core.strategies.base import ApproximationStrategy, BinModel
 from repro.core.strategies.clustering import ClusteringStrategy
@@ -39,9 +44,18 @@ STRATEGIES: dict[str, type[ApproximationStrategy]] = {
 def get_strategy(name: str, **kwargs) -> ApproximationStrategy:
     """Instantiate a strategy by registry name.
 
-    ``kwargs`` are forwarded to the strategy constructor (e.g. ``init=`` and
-    ``max_iter=`` for :class:`ClusteringStrategy`).
+    .. deprecated::
+        Use :meth:`ApproximationStrategy.from_config` (or construct the
+        strategy class directly); ad-hoc kwargs can silently diverge from
+        the config fields the rest of the pipeline uses.
     """
+    warnings.warn(
+        "get_strategy() is deprecated; use "
+        "ApproximationStrategy.from_config(config) or construct the "
+        "strategy class directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
         cls = STRATEGIES[name]
     except KeyError:

@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import NumarckConfig
 
 __all__ = ["BinModel", "ApproximationStrategy"]
 
@@ -62,8 +66,33 @@ class ApproximationStrategy(ABC):
     #: registry name, set by subclasses
     name: str = ""
 
+    @classmethod
+    def from_config(cls, config: "NumarckConfig") -> "ApproximationStrategy":
+        """Build the strategy a :class:`~repro.core.config.NumarckConfig`
+        describes -- the one construction path, so strategy kwargs cannot
+        silently diverge from config fields.
+
+        Called on the ABC, dispatches on ``config.strategy`` through the
+        registry; called on a concrete subclass, constructs that subclass
+        from its matching config fields (the base implementation takes no
+        parameters -- subclasses with tunables override).
+        """
+        if cls is ApproximationStrategy:
+            from repro.core.strategies import STRATEGIES
+
+            try:
+                sub = STRATEGIES[config.strategy]
+            except KeyError:
+                raise ValueError(
+                    f"unknown strategy {config.strategy!r}; "
+                    f"available: {sorted(STRATEGIES)}"
+                ) from None
+            return sub.from_config(config)
+        return cls()
+
     @abstractmethod
-    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float, *,
+            warm_start: np.ndarray | None = None) -> BinModel:
         """Fit at most ``k`` representatives to the candidate ratios.
 
         Parameters
@@ -77,6 +106,11 @@ class ApproximationStrategy(ABC):
             The user tolerance ``E``; strategies may use it to place bin
             boundaries (e.g. log-scale bins start at ``E``) but the hard
             guarantee is enforced by the encoder, not here.
+        warm_start:
+            Representatives of a previously fitted model of the *same
+            chain* to restart from (adaptive refits).  Deterministic
+            strategies may ignore it; iterative ones (clustering) use it
+            in place of their cold initialiser.
         """
 
     @staticmethod

@@ -91,6 +91,11 @@ class ClusteringStrategy(ApproximationStrategy):
         self.sample_limit = sample_limit
         self.seed = seed
 
+    @classmethod
+    def from_config(cls, config) -> "ClusteringStrategy":
+        return cls(init=config.kmeans_init, max_iter=config.kmeans_max_iter,
+                   seed=config.seed)
+
     def _sample(self, arr: np.ndarray) -> np.ndarray:
         limit = self.sample_limit
         if limit is None or arr.size <= limit:
@@ -101,24 +106,36 @@ class ClusteringStrategy(ApproximationStrategy):
         return np.concatenate([arr[idx], [arr.min(), arr.max()]])
 
     def _fit_space(self, sample: np.ndarray, k: int, error_bound: float,
-                   space: str) -> BinModel:
+                   space: str, warm: np.ndarray | None = None) -> BinModel:
         if space == "asinh":
             points = np.arcsinh(sample / error_bound)
         else:
             points = sample
-        init_fn = _INITS[self.init]
-        if self.init == "histogram":
-            centroids = init_fn(points, k)
+        if warm is not None and warm.size:
+            # Warm start: restart Lloyd from the cached representatives,
+            # transformed into the clustering space.
+            seeds = np.arcsinh(warm / error_bound) if space == "asinh" else warm
+            result = kmeans1d(points, max_iter=self.max_iter,
+                              warm_start=seeds, k=k)
         else:
-            centroids = init_fn(points, k, rng=np.random.default_rng(self.seed))
-        result = kmeans1d(points, centroids, max_iter=self.max_iter)
+            init_fn = _INITS[self.init]
+            if self.init == "histogram":
+                centroids = init_fn(points, k)
+            else:
+                centroids = init_fn(points, k, rng=np.random.default_rng(self.seed))
+            result = kmeans1d(points, centroids, max_iter=self.max_iter)
         reps = result.centroids
         if space == "asinh":
             reps = np.sinh(reps) * error_bound
         return BinModel(np.unique(reps))
 
-    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float, *,
+            warm_start: np.ndarray | None = None) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
+        warm = None
+        if warm_start is not None:
+            warm = np.asarray(warm_start, dtype=np.float64).ravel()
+            warm = warm[np.isfinite(warm)]
         with get_telemetry().span("strategy.clustering.fit",
                                   n_ratios=arr.size, k=k,
                                   bytes_in=arr.nbytes) as sp:
@@ -129,9 +146,9 @@ class ClusteringStrategy(ApproximationStrategy):
                 sp.set(n_bins=int(uniq.size), space="exact")
                 return BinModel(uniq)
             sample = self._sample(arr)
-            sp.set(n_sampled=int(sample.size))
+            sp.set(n_sampled=int(sample.size), warm_started=warm is not None)
             if self.space != "auto":
-                model = self._fit_space(sample, k, error_bound, self.space)
+                model = self._fit_space(sample, k, error_bound, self.space, warm)
                 sp.set(n_bins=int(model.representatives.size), space=self.space)
                 return model
             # Safeguarded selection: Lloyd minimises L2 inertia, not coverage,
@@ -144,7 +161,7 @@ class ClusteringStrategy(ApproximationStrategy):
                     np.abs(model.approximate(sample) - sample) >= error_bound
                 ))
 
-            linear = self._fit_space(sample, k, error_bound, "linear")
+            linear = self._fit_space(sample, k, error_bound, "linear", warm)
             fails_linear = fails(linear)
             if fails_linear == 0:
                 # Full coverage already -- the common benign case; skip the
@@ -152,7 +169,7 @@ class ClusteringStrategy(ApproximationStrategy):
                 sp.set(n_bins=int(linear.representatives.size), space="linear")
                 return linear
             candidates = [linear,
-                          self._fit_space(sample, k, error_bound, "asinh"),
+                          self._fit_space(sample, k, error_bound, "asinh", warm),
                           EqualWidthStrategy().fit(sample, k, error_bound)]
             counts = [fails_linear, fails(candidates[1]), fails(candidates[2])]
             pick = int(np.argmin(counts))

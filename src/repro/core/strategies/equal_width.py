@@ -24,7 +24,8 @@ class EqualWidthStrategy(ApproximationStrategy):
 
     name = "equal_width"
 
-    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float, *,
+            warm_start: np.ndarray | None = None) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
         with get_telemetry().span("strategy.equal_width.fit",
                                   n_ratios=arr.size, k=k,

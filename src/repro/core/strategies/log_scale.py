@@ -55,7 +55,8 @@ class LogScaleStrategy(ApproximationStrategy):
 
     name = "log_scale"
 
-    def fit(self, ratios: np.ndarray, k: int, error_bound: float) -> BinModel:
+    def fit(self, ratios: np.ndarray, k: int, error_bound: float, *,
+            warm_start: np.ndarray | None = None) -> BinModel:
         arr = self._validate(ratios, k, error_bound)
         with get_telemetry().span("strategy.log_scale.fit",
                                   n_ratios=arr.size, k=k,

@@ -19,10 +19,29 @@ The chunk records concatenate to exactly the arrays a one-shot
 :class:`~repro.core.encoder.EncodedIteration` would hold, and
 ``as_encoded_iteration`` performs that concatenation (useful for tests and
 for writing a streamed result into the standard container format).
+
+The public entry point is :meth:`repro.Codec.compress_stream`:
+
+>>> import numpy as np
+>>> from repro import Codec
+>>> codec = Codec(chunk_size=1000)
+>>> prev = np.linspace(1, 2, 5000)
+>>> curr = prev * 1.002
+>>> streamed = codec.compress_stream(
+...     lambda: iter(np.array_split(prev, 5)),
+...     lambda: iter(np.array_split(curr, 5)),
+... )
+>>> out = np.concatenate(list(codec.decompress_stream(
+...     iter(np.array_split(prev, 5)), streamed)))
+>>> bool(np.max(np.abs(out / curr - 1)) < 2e-3)
+True
+
+(The old :class:`StreamingEncoder` name remains as a deprecated shim.)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -84,8 +103,9 @@ class StreamedIteration:
         )
 
 
-class StreamingEncoder:
-    """Two-pass chunked encoder.
+class _ChunkedEncoder:
+    """Two-pass chunked encoder (implementation behind
+    :meth:`repro.Codec.compress_stream`).
 
     Parameters
     ----------
@@ -95,21 +115,6 @@ class StreamingEncoder:
         Points per chunk; peak memory is O(chunk_size).
     sample_size:
         Reservoir size for the model-fit pass.
-
-    Examples
-    --------
-    >>> import numpy as np
-    >>> enc = StreamingEncoder(chunk_size=1000)
-    >>> prev = np.linspace(1, 2, 5000)
-    >>> curr = prev * 1.002
-    >>> streamed = enc.encode(
-    ...     lambda: iter(np.array_split(prev, 5)),
-    ...     lambda: iter(np.array_split(curr, 5)),
-    ... )
-    >>> out = np.concatenate(list(decode_stream(
-    ...     iter(np.array_split(prev, 5)), streamed)))
-    >>> bool(np.max(np.abs(out / curr - 1)) < 2e-3)
-    True
     """
 
     def __init__(self, config: NumarckConfig | None = None,
@@ -254,6 +259,26 @@ class StreamingEncoder:
             return lambda: iter(np.array_split(arr, nsplit))
 
         return self.encode(chunks(p), chunks(c))
+
+
+class StreamingEncoder(_ChunkedEncoder):
+    """Two-pass chunked encoder.
+
+    .. deprecated::
+        Use :class:`repro.Codec` -- ``Codec(config, chunk_size=...)``
+        with :meth:`~repro.Codec.compress_stream` /
+        :meth:`~repro.Codec.decompress_stream`.
+    """
+
+    def __init__(self, config: NumarckConfig | None = None,
+                 chunk_size: int = 1 << 20, sample_size: int = 200_000) -> None:
+        warnings.warn(
+            "StreamingEncoder is deprecated; use repro.Codec(config, "
+            "chunk_size=...).compress_stream(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(config, chunk_size, sample_size)
 
 
 def decode_stream(prev_chunks: Iterator[np.ndarray],

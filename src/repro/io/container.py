@@ -45,10 +45,12 @@ from repro.io.durable import atomic_write, retry_io
 from repro.io.format import (
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_VERSIONS,
     decode_delta_bytes,
     decode_full_bytes,
     encode_delta_bytes,
     encode_full_bytes,
+    peek_delta_table,
 )
 from repro.telemetry.tracer import get_telemetry
 
@@ -87,7 +89,7 @@ def _check_header(fh: BinaryIO, path: str | Path) -> None:
     if len(head) != HEADER_SIZE or head[:4] != MAGIC:
         raise FormatError(f"{path}: not a NUMARCK checkpoint file")
     (version,) = struct.unpack("<H", head[4:])
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise FormatError(f"{path}: unsupported format version {version}")
 
 
@@ -154,6 +156,9 @@ class CheckpointFile:
         #: :class:`SalvageReport` describing what ``append()`` found and
         #: cut when it opened the file; ``None`` for other constructors.
         self.salvage: SalvageReport | None = None
+        #: representative table of the last delta written/seen on this
+        #: handle -- the dedup anchor for table-reference records.
+        self._last_reps: np.ndarray | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -209,9 +214,17 @@ class CheckpointFile:
             _check_header(fh, path)
             ends = [HEADER_SIZE]
             reason = None
+            last_reps = None
             try:
-                for _tag, _payload in _iter_frames(fh):
+                for tag, payload in _iter_frames(fh):
                     ends.append(fh.tell())
+                    # Rebuild the table-dedup anchor from the surviving
+                    # records so appended reuse-hit deltas keep eliding
+                    # repeated tables correctly.
+                    if tag == TAG_DELTA:
+                        last_reps = peek_delta_table(payload, last_reps)
+                    elif tag == TAG_FULL:
+                        last_reps = None
             except _ScanFailure as exc:
                 if not exc.tail:
                     raise FormatError(
@@ -232,6 +245,7 @@ class CheckpointFile:
         obj = cls(fh, "w", write_hook=write_hook, sync=sync)
         obj.n_records = len(ends) - 1
         obj._record_ends = ends
+        obj._last_reps = last_reps
         obj.salvage = SalvageReport(
             path=str(path),
             records_kept=len(ends) - 1,
@@ -327,14 +341,34 @@ class CheckpointFile:
             os.fsync(self._fh.fileno())
         del self._record_ends[n + 1:]
         self.n_records = n
+        # The dedup anchor may have been cut away; writing the next delta
+        # with a full table is always safe.
+        self._last_reps = None
 
     def write_full(self, data: np.ndarray) -> None:
         """Append an exact full-checkpoint record."""
         self.write_record(TAG_FULL, encode_full_bytes(data))
+        self._last_reps = None
 
     def write_delta(self, encoded: EncodedIteration) -> None:
-        """Append one encoded-iteration record."""
-        self.write_record(TAG_DELTA, encode_delta_bytes(encoded))
+        """Append one encoded-iteration record.
+
+        When the iteration reused the previous delta's bin model
+        (``model_reused``) and the tables verifiably match, the table is
+        stored as a back-reference instead of repeating it.
+        """
+        ref = bool(
+            encoded.model_reused
+            and self._last_reps is not None
+            and encoded.representatives.size == self._last_reps.size
+            and np.array_equal(encoded.representatives, self._last_reps)
+        )
+        self.write_record(TAG_DELTA, encode_delta_bytes(encoded, table_ref=ref))
+        if ref:
+            get_telemetry().metrics.counter("io.table_refs").inc()
+        else:
+            self._last_reps = np.asarray(encoded.representatives,
+                                         dtype=np.float64).copy()
 
     # -- reading -----------------------------------------------------------
 
@@ -371,6 +405,7 @@ class CheckpointFile:
         """Read a FULL record followed by DELT records."""
         full: np.ndarray | None = None
         deltas: list[EncodedIteration] = []
+        last_reps: np.ndarray | None = None
         for tag, payload in self.records(strict=strict):
             if tag == TAG_FULL:
                 if full is not None:
@@ -379,7 +414,9 @@ class CheckpointFile:
             elif tag == TAG_DELTA:
                 if full is None:
                     raise FormatError("DELT record before FULL record")
-                deltas.append(decode_delta_bytes(payload))
+                enc = decode_delta_bytes(payload, prev_reps=last_reps)
+                last_reps = enc.representatives
+                deltas.append(enc)
             else:
                 raise FormatError(f"unknown record tag {tag!r}")
         if full is None:
@@ -466,6 +503,13 @@ def _rebuild_chain(full: np.ndarray, deltas: list[EncodedIteration],
     for enc in deltas:
         state = decode_iteration(state, enc)
     chain._ref = state  # noqa: SLF001
+    # Resume model reuse across a save/load cycle: prime the adaptive
+    # cache with the last stored table (conservative zero baseline).
+    adaptive = chain._adaptive  # noqa: SLF001
+    if adaptive is not None and deltas and deltas[-1].representatives.size:
+        from repro.core.strategies.base import BinModel
+
+        adaptive.seed(BinModel(deltas[-1].representatives))
     return chain
 
 

@@ -14,8 +14,16 @@ A *delta* payload is::
     bitmap:u8[ceil(n/8)]            (incompressibility mask, little bit order)
     packed_indices:u8[ceil(n*nbits/8)]
 
-``flags`` bit 0 = zero index reserved.  Exact values appear in flat index
-order, i.e. the j-th set bit of the bitmap corresponds to ``exact[j]``.
+``flags`` bit 0 = zero index reserved; bit 1 = exact values stored as
+float32; bit 2 = the iteration reused the previous iteration's bin model
+(adaptive reuse hit); bit 3 = *table reference*: ``n_reps`` is written as
+0 and the reader must substitute the representative table of the nearest
+preceding delta of the same chain -- repeated tables are thereby stored
+once per run of reuse hits.  Exact values appear in flat index order,
+i.e. the j-th set bit of the bitmap corresponds to ``exact[j]``.
+
+Format version 2 introduced bits 2/3; version-1 files (which can never
+carry them) read back unchanged.
 """
 
 from __future__ import annotations
@@ -31,17 +39,23 @@ from repro.core.errors import FormatError
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "encode_full_bytes",
     "decode_full_bytes",
     "encode_delta_bytes",
     "decode_delta_bytes",
+    "peek_delta_table",
 ]
 
 MAGIC = b"NMRK"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: versions this reader accepts (v1 lacks the reuse/table-ref flag bits).
+SUPPORTED_VERSIONS = (1, 2)
 
 _FLAG_ZERO_RESERVED = 0x01
 _FLAG_FLOAT32_VALUES = 0x02
+_FLAG_MODEL_REUSED = 0x04
+_FLAG_TABLE_REF = 0x08
 
 
 def _pack_dims(shape: tuple[int, ...]) -> bytes:
@@ -81,8 +95,14 @@ def decode_full_bytes(payload: bytes) -> np.ndarray:
     return data.reshape(shape)
 
 
-def encode_delta_bytes(enc: EncodedIteration) -> bytes:
-    """Serialise one encoded iteration."""
+def encode_delta_bytes(enc: EncodedIteration, *, table_ref: bool = False) -> bytes:
+    """Serialise one encoded iteration.
+
+    With ``table_ref`` the representative table is *elided* (``n_reps``
+    written as 0, flag bit 3 set): the writer asserts it equals the table
+    of the nearest preceding delta in the same chain, and the reader must
+    pass that table as ``prev_reps`` to :func:`decode_delta_bytes`.
+    """
     strategy = enc.strategy.encode("ascii")
     if len(strategy) > 255:
         raise FormatError("strategy name too long")
@@ -91,11 +111,17 @@ def encode_delta_bytes(enc: EncodedIteration) -> bytes:
     flags = _FLAG_ZERO_RESERVED if enc.zero_reserved else 0
     if enc.value_bits == 32:
         flags |= _FLAG_FLOAT32_VALUES
+    if enc.model_reused:
+        flags |= _FLAG_MODEL_REUSED
+    if table_ref:
+        flags |= _FLAG_TABLE_REF
     head = struct.pack("<BBB", enc.nbits, flags, len(strategy)) + strategy
     head += struct.pack("<d", enc.error_bound)
     head += _pack_dims(enc.shape)
 
     reps = np.ascontiguousarray(enc.representatives, dtype="<f8")
+    if table_ref:
+        reps = np.empty(0, dtype="<f8")
     exact_dtype = "<f4" if enc.value_bits == 32 else "<f8"
     exact = np.ascontiguousarray(enc.exact_values, dtype=exact_dtype)
     bitmap = np.packbits(enc.incompressible.astype(np.uint8), bitorder="little")
@@ -112,8 +138,14 @@ def encode_delta_bytes(enc: EncodedIteration) -> bytes:
     return head + body
 
 
-def decode_delta_bytes(payload: bytes) -> EncodedIteration:
-    """Inverse of :func:`encode_delta_bytes`."""
+def decode_delta_bytes(payload: bytes,
+                       prev_reps: np.ndarray | None = None) -> EncodedIteration:
+    """Inverse of :func:`encode_delta_bytes`.
+
+    ``prev_reps`` is the representative table of the nearest preceding
+    delta in the same chain; it is required to resolve a table-reference
+    delta (flag bit 3) and ignored otherwise.
+    """
     buf = memoryview(payload)
     try:
         nbits, flags, slen = struct.unpack_from("<BBB", buf, 0)
@@ -129,6 +161,14 @@ def decode_delta_bytes(payload: bytes) -> EncodedIteration:
         if reps.size != n_reps:
             raise FormatError("truncated representatives table")
         off += 8 * n_reps
+        if flags & _FLAG_TABLE_REF:
+            if prev_reps is None:
+                raise FormatError(
+                    "table-reference delta needs the preceding delta's "
+                    "representative table (prev_reps)"
+                )
+            reps = np.asarray(prev_reps, dtype=np.float64).copy()
+            n_reps = reps.size
         (n_exact,) = struct.unpack_from("<Q", buf, off)
         off += 8
         exact_width = 4 if flags & _FLAG_FLOAT32_VALUES else 8
@@ -176,4 +216,36 @@ def decode_delta_bytes(payload: bytes) -> EncodedIteration:
         strategy=strategy,
         zero_reserved=zero_reserved,
         value_bits=32 if flags & _FLAG_FLOAT32_VALUES else 64,
+        model_reused=bool(flags & _FLAG_MODEL_REUSED),
     )
+
+
+def peek_delta_table(payload: bytes,
+                     prev_reps: np.ndarray | None = None) -> np.ndarray:
+    """Representative table of a serialised delta, without a full decode.
+
+    Parses only the fixed head (cheap -- no bitmap/index unpacking); used
+    by append-mode writers to rebuild their table-dedup state from the
+    records already on disk.  ``prev_reps`` resolves table references as
+    in :func:`decode_delta_bytes`.
+    """
+    buf = memoryview(payload)
+    try:
+        _nbits, flags, slen = struct.unpack_from("<BBB", buf, 0)
+        off = 3 + slen + 8
+        _shape, off = _unpack_dims(buf, off)
+        (n_reps,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        reps = np.frombuffer(buf[off : off + 8 * n_reps], dtype="<f8").copy()
+        if reps.size != n_reps:
+            raise FormatError("truncated representatives table")
+    except (struct.error, ValueError) as exc:
+        raise FormatError(f"corrupt delta payload: {exc}") from exc
+    if flags & _FLAG_TABLE_REF:
+        if prev_reps is None:
+            raise FormatError(
+                "table-reference delta needs the preceding delta's "
+                "representative table (prev_reps)"
+            )
+        return np.asarray(prev_reps, dtype=np.float64).copy()
+    return reps

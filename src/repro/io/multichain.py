@@ -36,6 +36,7 @@ from repro.io.format import (
     decode_full_bytes,
     encode_delta_bytes,
     encode_full_bytes,
+    peek_delta_table,
 )
 
 __all__ = ["save_chains", "load_chains", "MultiChainWriter"]
@@ -79,6 +80,8 @@ class MultiChainWriter:
     def __init__(self, inner: CheckpointFile) -> None:
         self._inner = inner
         self._seen_full: set[str] = set()
+        #: per-variable table-dedup anchor (last written delta's table).
+        self._last_reps: dict[str, np.ndarray] = {}
 
     @classmethod
     def create(cls, path: str | Path, *,
@@ -96,18 +99,26 @@ class MultiChainWriter:
         :meth:`CheckpointFile.append`); replays the surviving records so
         per-variable full/delta bookkeeping continues correctly."""
         seen: set[str] = set()
+        last_reps: dict[str, np.ndarray] = {}
         with CheckpointFile.open(path) as reader:
             for tag, payload in reader.records(strict=False):
                 if tag == TAG_NAMED_FULL:
                     name, _ = _split_named(payload)
                     seen.add(name)
-                elif tag != TAG_NAMED_DELTA:
+                elif tag == TAG_NAMED_DELTA:
+                    # Rebuild each variable's table-dedup anchor so new
+                    # reuse-hit deltas keep eliding repeated tables.
+                    name, body = _split_named(payload)
+                    last_reps[name] = peek_delta_table(body,
+                                                       last_reps.get(name))
+                else:
                     raise FormatError(
                         f"unexpected record tag {tag!r} in multi-chain file"
                     )
         writer = cls(CheckpointFile.append(path, write_hook=write_hook,
                                            sync=sync))
         writer._seen_full = seen
+        writer._last_reps = last_reps
         return writer
 
     def write_full(self, name: str, data: np.ndarray) -> None:
@@ -120,8 +131,19 @@ class MultiChainWriter:
     def write_delta(self, name: str, encoded) -> None:
         if name not in self._seen_full:
             raise FormatError(f"variable {name!r} has no full record yet")
-        self._inner.write_record(TAG_NAMED_DELTA,
-                                 _named(name, encode_delta_bytes(encoded)))
+        prev = self._last_reps.get(name)
+        ref = bool(
+            encoded.model_reused
+            and prev is not None
+            and encoded.representatives.size == prev.size
+            and np.array_equal(encoded.representatives, prev)
+        )
+        self._inner.write_record(
+            TAG_NAMED_DELTA,
+            _named(name, encode_delta_bytes(encoded, table_ref=ref)))
+        if not ref:
+            self._last_reps[name] = np.asarray(encoded.representatives,
+                                               dtype=np.float64).copy()
 
     def close(self) -> None:
         self._inner.close()
@@ -227,7 +249,10 @@ def load_chains(path: str | Path,
                     if name not in fulls:
                         raise FormatError(
                             f"delta for unknown variable {name!r}")
-                    deltas[name].append(decode_delta_bytes(body))
+                    prior = deltas[name]
+                    prev_reps = prior[-1].representatives if prior else None
+                    deltas[name].append(
+                        decode_delta_bytes(body, prev_reps=prev_reps))
                 else:
                     raise FormatError(
                         f"unexpected record tag {tag!r} in multi-chain file"

@@ -19,7 +19,8 @@ which is O(n log k) instead of the O(n k) distance matrix and is the main
 reason the clustering strategy stays fast at checkpoint scale.
 """
 
-from repro.kmeans.init import histogram_init, kmeanspp_init, random_init
+from repro.kmeans.init import (histogram_init, kmeanspp_init, random_init,
+                               warm_start_init)
 from repro.kmeans.lloyd import KMeansResult, assign1d, kmeans, kmeans1d
 from repro.kmeans.parallel import parallel_kmeans1d
 
@@ -31,5 +32,6 @@ __all__ = [
     "histogram_init",
     "kmeanspp_init",
     "random_init",
+    "warm_start_init",
     "parallel_kmeans1d",
 ]

@@ -82,10 +82,13 @@ def _moments(data: np.ndarray, labels: np.ndarray, k: int,
 
 def kmeans1d(
     data: np.ndarray,
-    centroids: np.ndarray,
+    centroids: np.ndarray | None = None,
     max_iter: int = 50,
     tol: float = 1e-10,
     weights: np.ndarray | None = None,
+    *,
+    warm_start: np.ndarray | None = None,
+    k: int | None = None,
 ) -> KMeansResult:
     """Lloyd's algorithm on scalar data from explicit initial centroids.
 
@@ -95,6 +98,7 @@ def kmeans1d(
         1-D float array of points to cluster.
     centroids:
         Initial centroids (will be sorted); ``k = len(centroids)``.
+        Mutually exclusive with ``warm_start``.
     max_iter:
         Maximum Lloyd iterations.
     tol:
@@ -104,6 +108,14 @@ def kmeans1d(
         Optional non-negative per-point weights -- clustering a weighted
         histogram of n bins is then equivalent to clustering the full
         dataset it summarises (used by the sketch-based distributed fit).
+    warm_start:
+        Previously fitted centroids to restart from (the adaptive reuse
+        engine's refit path).  They are clipped to the new data range and
+        padded/deduplicated to ``k`` seeds via
+        :func:`~repro.kmeans.init.warm_start_init`.
+    k:
+        Target centroid count for ``warm_start`` (defaults to the number
+        of distinct warm-start centers).  Ignored with ``centroids``.
 
     Notes
     -----
@@ -114,6 +126,17 @@ def kmeans1d(
     arr = np.asarray(data, dtype=np.float64).ravel()
     if arr.size == 0:
         raise ValueError("cannot cluster empty data")
+    if warm_start is not None:
+        if centroids is not None:
+            raise ValueError("pass either centroids or warm_start, not both")
+        from repro.kmeans.init import warm_start_init
+
+        cached = np.asarray(warm_start, dtype=np.float64).ravel()
+        target_k = k if k is not None else max(int(np.unique(cached).size), 1)
+        centroids = warm_start_init(arr, target_k, cached)
+        get_telemetry().metrics.counter("kmeans.warm_starts").inc()
+    elif centroids is None:
+        raise ValueError("kmeans1d needs initial centroids (or warm_start=)")
     w = None
     if weights is not None:
         w = np.asarray(weights, dtype=np.float64).ravel()

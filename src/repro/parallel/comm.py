@@ -222,6 +222,62 @@ _DATA, _ACK, _NAK, _HB = 1, 2, 3, 4
 #: frame header: kind, sequence number, CRC32 of the payload.
 _FRAME = struct.Struct("<BII")
 
+# -- pickle protocol-5 out-of-band serialisation -------------------------
+#
+# Large NumPy payloads dominate the wire cost of parallel encode.  Plain
+# ``pickle.dumps`` copies every array into the pickle stream; protocol 5
+# with a ``buffer_callback`` instead emits the array *metadata* in the
+# stream and hands the raw buffers out separately, so assembly is a
+# single ``b"".join`` over the original memory (zero-copy on the send
+# side).  Wire layout, distinguished from a plain pickle stream by its
+# first byte (pickle streams always start with 0x80):
+#
+#     0x05  n_buffers:u32  head_len:u32  buf_lens:u64[n_buffers]
+#     pickle_head:bytes  raw_buffer_bytes...
+#
+# ``_loads`` copies the buffer region into one writable ``bytearray`` and
+# reconstructs arrays as views into it, so the result owns its memory
+# without a second per-array copy.
+
+_OOB_MAGIC = 0x05
+_OOB_HEAD = struct.Struct("<II")
+
+
+def _dumps(obj: Any) -> bytes:
+    buffers: list[pickle.PickleBuffer] = []
+    head = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        return head
+    try:
+        raws = [b.raw() for b in buffers]
+    except BufferError:
+        # Non-contiguous out-of-band buffer: fall back to in-band pickle.
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    lens = struct.pack(f"<{len(raws)}Q", *(r.nbytes for r in raws))
+    return b"".join(
+        [bytes([_OOB_MAGIC]), _OOB_HEAD.pack(len(raws), len(head)),
+         lens, head, *raws])
+
+
+def _loads(data: bytes) -> Any:
+    if not data or data[0] != _OOB_MAGIC:
+        return pickle.loads(data)
+    n_buffers, head_len = _OOB_HEAD.unpack_from(data, 1)
+    off = 1 + _OOB_HEAD.size
+    lens = struct.unpack_from(f"<{n_buffers}Q", data, off)
+    off += 8 * n_buffers
+    head = bytes(data[off : off + head_len])
+    off += head_len
+    # One writable copy backs every reconstructed array.
+    region = bytearray(data[off:])
+    view = memoryview(region)
+    buffers = []
+    pos = 0
+    for length in lens:
+        buffers.append(view[pos : pos + length])
+        pos += length
+    return pickle.loads(head, buffers=buffers)
+
 #: histogram buckets for failure-detection latency (seconds).
 _DETECT_BUCKETS = (0.01, 0.05, 0.25, 1.0, 2.0, 5.0, 15.0, 60.0)
 
@@ -452,7 +508,7 @@ class PipeComm(Comm):
         conn = self._links[dest]
         self._send_seq[dest] += 1
         seq = self._send_seq[dest]
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = _dumps(obj)
         frame = _FRAME.pack(_DATA, seq, zlib.crc32(payload)) + payload
         t0 = time.monotonic()
         limit = self.timeout if timeout is None else timeout
@@ -534,7 +590,7 @@ class PipeComm(Comm):
                 "recv", t0)
         while True:
             if self._inbox[source]:
-                return pickle.loads(self._inbox[source].pop(0))
+                return _loads(self._inbox[source].pop(0))
             self._check_alive(source)
             now = time.monotonic()
             deadline = max(t0, self._last_heard[source]) + limit

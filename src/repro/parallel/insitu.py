@@ -85,6 +85,10 @@ class GlobalStats:
     degraded: bool = False
     #: ranks lost during this encode (empty on a clean run).
     lost_ranks: tuple[int, ...] = ()
+    #: True when the shared bin table came from ``model_hint`` (reuse hit):
+    #: the sample gather, root fit, table broadcast and Lloyd refinement
+    #: were all skipped -- communication drops to one O(1) allreduce.
+    model_reused: bool = False
 
     @property
     def incompressible_ratio(self) -> float:
@@ -114,6 +118,9 @@ def parallel_encode(
     refine: bool = True,
     fit_mode: str = "sample",
     on_rank_failure: str = "degrade",
+    model_hint=None,
+    hint_baseline: float = 0.0,
+    hint_drift: float | None = None,
 ) -> tuple[EncodedIteration, GlobalStats]:
     """SPMD encode of one iteration; call on every rank with its shard.
 
@@ -140,6 +147,18 @@ def parallel_encode(
       bound E still holds on every surviving rank.
     * ``"raise"`` -- any lost peer raises
       :class:`~repro.parallel.faults.RankFailureError`.
+
+    ``model_hint`` (a :class:`~repro.core.strategies.base.BinModel` every
+    rank already holds, e.g. from the previous timestep's encode) enables
+    the adaptive reuse path: each rank checks the hinted table against its
+    local candidates, one O(1) allreduce agrees on the *global* fail
+    fraction, and if it has not drifted more than ``hint_drift`` above
+    ``hint_baseline`` the whole fit pipeline -- sample gather, root fit,
+    table broadcast, Lloyd refinement -- is skipped (``hint_drift=None``
+    reuses unconditionally).  The decision is collective, so every rank
+    takes the same branch.  On drift, the normal fit runs and warm-starts
+    from the hinted centers.  The per-point bound E is unaffected either
+    way.
     """
     from repro.core.config import NumarckConfig
     from repro.core.encoder import EncodedIteration, _fit_model
@@ -168,7 +187,29 @@ def parallel_encode(
         ratios, forced, cand_mask = _local_candidates(prev, curr, cfg)
         cand = ratios[cand_mask]
 
-        if fit_mode == "sketch":
+        reused = False
+        if model_hint is not None and model_hint.n_bins:
+            # -- adaptive reuse: collective drift check, O(1) traffic -----
+            local_fail = int(np.count_nonzero(
+                np.abs(model_hint.approximate(cand) - cand) >= cfg.error_bound
+            )) if cand.size else 0
+            with comm.phase("insitu.hint_validate"):
+                totals = _allreduce(np.array([cand.size, local_fail],
+                                             dtype=np.int64))
+            n_cand_global = int(totals[0])
+            fail_frac = int(totals[1]) / n_cand_global if n_cand_global else 0.0
+            drift = max(0.0, fail_frac - hint_baseline)
+            tel.metrics.gauge("adaptive.drift").set(drift)
+            if hint_drift is None or drift <= hint_drift:
+                reused = True
+                reps = model_hint.representatives
+                tel.metrics.counter("adaptive.reuse_hits").inc()
+            else:
+                tel.metrics.counter("adaptive.refits").inc()
+
+        if reused:
+            pass  # every rank already holds the shared table
+        elif fit_mode == "sketch":
             # -- mergeable-sketch fit: O(bins) allreduce, local deterministic fit
             from repro.analysis.sketch import RatioSketch
 
@@ -195,7 +236,10 @@ def parallel_encode(
                         if g is not None and g.size]
                 all_samples = np.concatenate(live) if live else np.empty(0)
                 if all_samples.size:
-                    model = _fit_model(all_samples, cfg)
+                    ws = (model_hint.representatives
+                          if model_hint is not None and model_hint.n_bins
+                          else None)
+                    model = _fit_model(all_samples, cfg, warm_start=ws)
                     reps = model.representatives
                 else:
                     reps = np.empty(0)
@@ -210,7 +254,7 @@ def parallel_encode(
             comm.note_lost(lost_at_fit)
 
         # -- optional distributed Lloyd refinement (paper's parallel k-means)
-        if refine and cfg.strategy == "clustering" and reps.size > 1:
+        if refine and not reused and cfg.strategy == "clustering" and reps.size > 1:
             with comm.phase("insitu.refine"):
                 refined = parallel_kmeans1d(comm, cand, reps,
                                             max_iter=cfg.kmeans_max_iter,
@@ -256,6 +300,7 @@ def parallel_encode(
             error_bound=cfg.error_bound,
             strategy=cfg.strategy,
             zero_reserved=cfg.reserve_zero_bin,
+            model_reused=reused,
         )
         with comm.phase("insitu.stats"):
             n_points_global = _allreduce(n)
@@ -267,9 +312,10 @@ def parallel_encode(
             n_bins=int(np.asarray(reps).size),
             degraded=bool(lost),
             lost_ranks=tuple(lost),
+            model_reused=reused,
         )
         tspan.set(degraded=stats.degraded, n_lost=len(lost),
-                  n_bins=stats.n_bins)
+                  n_bins=stats.n_bins, model_reused=reused)
         if stats.degraded:
             tel.metrics.counter("insitu.degraded_encodes").inc()
     return encoded, stats

@@ -9,7 +9,7 @@ offline, so this module provides the equivalent workflow over ``.npz``:
 * :class:`TrajectoryReader` -- random access by iteration or variable,
   plus :meth:`pairs` (consecutive-iteration pairs, the unit NUMARCK
   consumes) and :meth:`chunk_stream` factories that plug straight into
-  :class:`~repro.core.streaming.StreamingEncoder`.
+  :meth:`repro.Codec.compress_stream`.
 
 Keys inside the archive are ``"{iteration:06d}/{variable}"``.
 """

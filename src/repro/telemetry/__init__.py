@@ -5,7 +5,7 @@ parallel follow-up) break compression cost into change-ratio computation,
 clustering, encoding and I/O.  This package instruments those stages:
 
 * **Spans** (:mod:`repro.telemetry.tracer`): nested, attributed timers
-  around every hot path -- ``pipeline.compress`` > ``encode`` >
+  around every hot path -- ``codec.compress`` > ``encode`` >
   ``encode.fit`` > ``kmeans.lloyd``, plus bit packing, container writes
   and incremental persistence.
 * **Metrics** (:mod:`repro.telemetry.metrics`): counters, gauges and

@@ -40,10 +40,10 @@ class TestEntropy:
         """NUMARCK's transform concentrates the distribution: the index
         stream's entropy sits well below its B-bit width, which is the
         headroom a lossless post-pass exploits."""
-        from repro.core import NumarckConfig, encode_iteration
+        from repro.core import NumarckConfig, encode_pair
 
         prev, curr = smooth_pair
-        enc = encode_iteration(prev, curr, NumarckConfig(nbits=8))
+        enc = encode_pair(prev, curr, NumarckConfig(nbits=8))[0]
         assert word_entropy(enc.indices) < 8.0
 
     def test_histogram_entropy_handles_nan(self):

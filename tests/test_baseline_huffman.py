@@ -97,10 +97,10 @@ class TestCompression:
 
     def test_numarck_index_stream_shrinks(self, smooth_pair):
         """The motivating use: NUMARCK's 8-bit indices entropy-code well."""
-        from repro.core import NumarckConfig, encode_iteration
+        from repro.core import NumarckConfig, encode_pair
 
         prev, curr = smooth_pair
-        enc = encode_iteration(prev, curr, NumarckConfig(nbits=8))
+        enc = encode_pair(prev, curr, NumarckConfig(nbits=8))[0]
         blob = huffman_encode(enc.indices, 256)
         raw_bits = enc.indices.size * 8
         assert len(blob) * 8 < 0.9 * raw_bits

@@ -1,0 +1,74 @@
+"""Acceptance gate for the adaptive reuse engine.
+
+The committed baselines (``repro bench run --scenario chain_adaptive
+[--scenario chain_adaptive_off]``) record the same stationary
+20-iteration CMIP chain with reuse on vs off.  The gate: fit-stage self
+time must drop by at least 2x with reuse on, and the improvement must be
+significant under the stock MAD comparator -- not just a lucky median.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import Thresholds, compare_docs, load_bench
+
+BASELINES = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+
+#: Stages that make up the model-fitting work.  ``encode.fit`` is the
+#: parent span; Lloyd and the strategy driver carry its heavy self time.
+FIT_STAGES = ("encode.fit", "kmeans.lloyd", "strategy.clustering.fit")
+
+
+@pytest.fixture(scope="module")
+def docs():
+    on = load_bench(BASELINES / "BENCH_chain_adaptive.json")
+    off = load_bench(BASELINES / "BENCH_chain_adaptive_off.json")
+    return on, off
+
+
+def test_baselines_ran_the_same_chain(docs):
+    on, off = docs
+    assert on["attrs"]["n_pairs"] == off["attrs"]["n_pairs"] == 20
+    assert on["attrs"]["n_points"] == off["attrs"]["n_points"]
+    assert on["attrs"]["reuse_hits"] == 19  # one cold fit, then all hits
+    assert off["attrs"]["reuse_hits"] == 0
+
+
+def test_reuse_does_not_inflate_output(docs):
+    on, off = docs
+    # Reuse trades freshness of the table for fit time; the table-ref
+    # format keeps the payload from growing more than marginally.
+    assert on["attrs"]["bytes_out"] <= off["attrs"]["bytes_out"] * 1.05
+
+
+def test_fit_stage_self_time_halved_and_significant(docs):
+    on, off = docs
+    # compare_docs refuses mismatched scenario names (by design); the
+    # gate intentionally crosses the on/off pair, so align the labels.
+    base = copy.deepcopy(off)
+    base["scenario"] = on["scenario"]
+    comparison = compare_docs(base, on, Thresholds())
+    deltas = {d.metric: d for d in comparison.deltas}
+
+    for stage in FIT_STAGES:
+        d = deltas[f"stage:{stage}"]
+        assert d.base_median >= 2.0 * d.cur_median, (
+            f"{stage}: {d.base_median:.6f}s off vs {d.cur_median:.6f}s on "
+            "-- less than the required 2x reduction")
+        assert d.improved, (
+            f"{stage}: improvement {-d.delta_s:.6f}s is within noise "
+            f"(threshold {d.threshold_s:.6f}s)")
+
+    # The whole-chain total must improve too, not just the fit slices.
+    total = deltas["total"]
+    assert total.improved and total.base_median >= 2.0 * total.cur_median
+
+
+def test_baselines_are_valid_schema():
+    for name in ("BENCH_chain_adaptive.json", "BENCH_chain_adaptive_off.json"):
+        doc = json.loads((BASELINES / name).read_text())
+        assert doc["schema"] == "numarck-bench/1"
+        assert doc["repeats"] >= 3

@@ -86,28 +86,30 @@ class TestReader:
 class TestIntegration:
     def test_archive_compress_workflow(self, tmp_path):
         """Paper workflow: generate -> archive -> compress from the archive."""
-        from repro.core import NumarckCompressor, NumarckConfig
+        from repro import Codec
+        from repro.core import NumarckConfig
 
         sim = CmipSimulation("rlus", nlat=20, nlon=32, seed=6)
         path = tmp_path / "rlus.npz"
         save_trajectory(path, sim.run(4))
 
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        comp = Codec(NumarckConfig(error_bound=1e-3))
         reader = TrajectoryReader(path)
         for prev, curr in reader.pairs("rlus"):
             _, _, stats = comp.roundtrip(prev, curr)
             assert stats.max_error < 1e-3
 
     def test_chunk_stream_feeds_streaming_encoder(self, tmp_path, rng):
-        from repro.core import NumarckConfig, StreamingEncoder, decode_stream
+        from repro import Codec
+        from repro.core import NumarckConfig, decode_stream
 
         prev = rng.uniform(1, 2, 4000)
         curr = prev * (1 + rng.normal(0, 0.002, 4000))
         path = tmp_path / "t.npz"
         save_trajectory(path, [{"v": prev}, {"v": curr}])
         reader = TrajectoryReader(path)
-        enc = StreamingEncoder(NumarckConfig(error_bound=1e-3), chunk_size=512)
-        streamed = enc.encode(reader.chunk_stream("v", 0, 512),
+        enc = Codec(NumarckConfig(error_bound=1e-3), chunk_size=512)
+        streamed = enc.compress_stream(reader.chunk_stream("v", 0, 512),
                               reader.chunk_stream("v", 1, 512))
         out = np.concatenate(list(decode_stream(
             reader.chunk_stream("v", 0, 512)(), streamed)))

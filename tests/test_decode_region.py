@@ -10,14 +10,14 @@ from repro.core import (
     NumarckConfig,
     decode_iteration,
     decode_region,
-    encode_iteration,
+    encode_pair,
 )
 
 
 @pytest.fixture
 def encoded_pair(hard_pair):
     prev, curr = hard_pair
-    enc = encode_iteration(prev, curr, NumarckConfig(error_bound=1e-3))
+    enc = encode_pair(prev, curr, NumarckConfig(error_bound=1e-3))[0]
     full = decode_iteration(prev, enc)
     return prev, enc, full
 
@@ -46,7 +46,7 @@ class TestDecodeRegion:
     def test_region_of_2d_iteration(self, rng):
         prev = rng.uniform(1, 2, (20, 30))
         curr = prev * (1 + rng.normal(0, 0.01, (20, 30)))
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         full = decode_iteration(prev, enc)
         flat_prev = prev.ravel()
         region = decode_region(flat_prev[100:250], enc, 100, 250)
@@ -56,7 +56,7 @@ class TestDecodeRegion:
         """Pull one 16x16 block row out of a compressed 2-D checkpoint."""
         prev = rng.uniform(1, 2, (32, 32))
         curr = prev * (1 + rng.normal(0, 0.005, (32, 32)))
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         full = decode_iteration(prev, enc)
         start, stop = 16 * 32, 17 * 32  # row 16
         row = decode_region(prev.ravel()[start:stop], enc, start, stop)
@@ -85,7 +85,7 @@ def test_property_region_equals_full_slice(seed, data):
     prev = rng.normal(size=n) * 3
     prev[rng.random(n) < 0.1] = 0.0
     curr = prev * (1 + rng.normal(0, 0.05, n))
-    enc = encode_iteration(prev, curr, NumarckConfig(error_bound=1e-3))
+    enc = encode_pair(prev, curr, NumarckConfig(error_bound=1e-3))[0]
     full = decode_iteration(prev, enc)
     start = data.draw(st.integers(0, n))
     stop = data.draw(st.integers(start, n))

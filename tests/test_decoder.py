@@ -7,7 +7,7 @@ from repro.core import (
     FormatError,
     NumarckConfig,
     decode_iteration,
-    encode_iteration,
+    encode_pair,
 )
 
 
@@ -17,7 +17,7 @@ class TestDecode:
         |decoded - curr| <= E * |prev| for compressible points."""
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         out = decode_iteration(prev, enc)
         compressible = ~enc.incompressible
         bound = cfg.error_bound * np.abs(prev[compressible])
@@ -25,32 +25,32 @@ class TestDecode:
 
     def test_incompressible_bit_exact(self, hard_pair):
         prev, curr = hard_pair
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         out = decode_iteration(prev, enc)
         np.testing.assert_array_equal(out[enc.incompressible],
                                       curr[enc.incompressible])
 
     def test_unchanged_roundtrip_identity(self, rng):
         prev = rng.uniform(1, 2, 300)
-        enc = encode_iteration(prev, prev, NumarckConfig())
+        enc = encode_pair(prev, prev, NumarckConfig())[0]
         np.testing.assert_array_equal(decode_iteration(prev, enc), prev)
 
     def test_shape_restored(self, rng):
         prev = rng.uniform(1, 2, (6, 7))
         curr = prev * 1.01
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         assert decode_iteration(prev, enc).shape == (6, 7)
 
     def test_wrong_reference_shape_raises(self, rng):
         prev = rng.uniform(1, 2, 100)
-        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        enc = encode_pair(prev, prev * 1.01, NumarckConfig())[0]
         with pytest.raises(FormatError, match="shape"):
             decode_iteration(np.zeros(50), enc)
 
     def test_nan_values_survive_roundtrip(self):
         prev = np.array([1.0, 1.0, 1.0])
         curr = np.array([np.nan, np.inf, 1.0001])
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         out = decode_iteration(prev, enc)
         assert np.isnan(out[0]) and np.isinf(out[1])
 
@@ -58,6 +58,6 @@ class TestDecode:
     def test_deterministic(self, strategy, smooth_pair):
         prev, curr = smooth_pair
         cfg = NumarckConfig(strategy=strategy)
-        a = decode_iteration(prev, encode_iteration(prev, curr, cfg))
-        b = decode_iteration(prev, encode_iteration(prev, curr, cfg))
+        a = decode_iteration(prev, encode_pair(prev, curr, cfg)[0])
+        b = decode_iteration(prev, encode_pair(prev, curr, cfg)[0])
         np.testing.assert_array_equal(a, b)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import NumarckConfig, change_ratios, encode_iteration
+from repro.core import NumarckConfig, change_ratios, encode_pair
 
 E = 1e-3
 
@@ -23,19 +23,19 @@ class TestHardGuarantee:
     def test_all_points_within_bound(self, strategy, smooth_pair):
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=E, nbits=8, strategy=strategy)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         assert _ratio_errors(prev, curr, enc).max() < E
 
     def test_hostile_data_within_bound(self, strategy, hard_pair):
         prev, curr = hard_pair
         cfg = NumarckConfig(error_bound=E, nbits=8, strategy=strategy)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         assert _ratio_errors(prev, curr, enc).max() < E
 
     def test_exact_values_are_exact(self, strategy, hard_pair):
         prev, curr = hard_pair
         cfg = NumarckConfig(error_bound=E, strategy=strategy)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         np.testing.assert_array_equal(
             enc.exact_values, curr.ravel()[enc.incompressible]
         )
@@ -46,53 +46,53 @@ class TestLayout:
         prev = rng.uniform(1, 2, 1000)
         bumps = rng.normal(0, E / 10, 1000)  # all well below E
         curr = prev * (1 + bumps)
-        enc = encode_iteration(prev, curr, NumarckConfig(error_bound=E))
+        enc = encode_pair(prev, curr, NumarckConfig(error_bound=E))[0]
         small = np.abs(bumps) < E
         assert np.all(enc.indices[small & ~enc.incompressible] == 0)
 
     def test_indices_fit_in_nbits(self, smooth_pair):
         prev, curr = smooth_pair
         for b in (2, 4, 8, 10):
-            enc = encode_iteration(prev, curr, NumarckConfig(nbits=b))
+            enc = encode_pair(prev, curr, NumarckConfig(nbits=b))[0]
             assert enc.indices.max() < (1 << b)
             assert enc.representatives.size <= (1 << b) - 1
 
     def test_zero_base_points_incompressible(self):
         prev = np.array([0.0, 1.0, 0.0, 2.0])
         curr = np.array([5.0, 1.001, 7.0, 2.002])
-        enc = encode_iteration(prev, curr, NumarckConfig(error_bound=E))
+        enc = encode_pair(prev, curr, NumarckConfig(error_bound=E))[0]
         assert enc.incompressible[0] and enc.incompressible[2]
         np.testing.assert_array_equal(enc.exact_values, [5.0, 7.0])
 
     def test_nan_points_incompressible(self):
         prev = np.array([1.0, 1.0])
         curr = np.array([np.nan, 1.0005])
-        enc = encode_iteration(prev, curr, NumarckConfig(error_bound=E))
+        enc = encode_pair(prev, curr, NumarckConfig(error_bound=E))[0]
         assert enc.incompressible[0]
         assert np.isnan(enc.exact_values[0])
 
     def test_unchanged_iteration_all_index_zero(self, rng):
         prev = rng.uniform(1, 2, 500)
-        enc = encode_iteration(prev, prev, NumarckConfig())
+        enc = encode_pair(prev, prev, NumarckConfig())[0]
         assert np.all(enc.indices == 0)
         assert enc.n_incompressible == 0
         assert enc.representatives.size == 0
 
     def test_shape_recorded(self, rng):
         prev = rng.uniform(1, 2, (10, 20))
-        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        enc = encode_pair(prev, prev * 1.01, NumarckConfig())[0]
         assert enc.shape == (10, 20)
         assert enc.n_points == 200
 
     def test_incompressible_ratio_property(self):
         prev = np.array([0.0, 1.0, 1.0, 1.0])
         curr = np.array([1.0, 1.0, 1.0, 1.0])
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         assert enc.incompressible_ratio == pytest.approx(0.25)
 
     def test_default_config_used_when_none(self, smooth_pair):
         prev, curr = smooth_pair
-        enc = encode_iteration(prev, curr)
+        enc = encode_pair(prev, curr)[0]
         assert enc.nbits == 8
         assert enc.strategy == "clustering"
 
@@ -102,7 +102,7 @@ class TestZeroBinAblation:
         prev = rng.uniform(1, 2, 2000)
         curr = prev * (1 + rng.normal(0, 0.005, 2000))
         cfg = NumarckConfig(nbits=4, reserve_zero_bin=False, strategy="clustering")
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         assert not enc.zero_reserved
         assert enc.representatives.size <= 16  # full 2^B
         # The guarantee still holds.
@@ -112,7 +112,7 @@ class TestZeroBinAblation:
         prev = rng.uniform(1, 2, 500)
         curr = prev * 1.02
         cfg = NumarckConfig(reserve_zero_bin=False)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         np.testing.assert_allclose(enc.decoded_ratios(), 0.02, atol=cfg.error_bound)
 
 
@@ -132,7 +132,7 @@ def test_property_guarantee_universal(seed, nbits, strategy, log_e):
     prev[rng.random(400) < 0.05] = 0.0
     curr = prev * (1 + rng.normal(0, 0.05, 400)) + rng.normal(0, 1e-6, 400)
     cfg = NumarckConfig(error_bound=e, nbits=nbits, strategy=strategy)
-    enc = encode_iteration(prev, curr, cfg)
+    enc = encode_pair(prev, curr, cfg)[0]
     assert _ratio_errors(prev, curr, enc).max() < e
     assert enc.indices.max(initial=0) < (1 << nbits)
     np.testing.assert_array_equal(enc.exact_values,

@@ -77,12 +77,13 @@ class TestDataMovement:
     def test_block_local_compression_workflow(self, rng):
         """Paper workflow: each block's data compresses independently with
         the shared bin table (here: per-block encode against its own prev)."""
-        from repro.core import NumarckCompressor, NumarckConfig
+        from repro import Codec
+        from repro.core import NumarckConfig
 
         grid = BlockGrid3D(16, 16, 32, block=16, guard=4)
         prev = rng.uniform(1, 2, (16, 16, 32))
         curr = prev * (1 + rng.normal(0, 0.002, (16, 16, 32)))
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        comp = Codec(NumarckConfig(error_bound=1e-3))
         grid.scatter(prev)
         prev_blocks = [grid.interior(b).copy() for b in range(grid.n_blocks)]
         grid.scatter(curr)

@@ -136,7 +136,8 @@ class TestSimulation3D:
 
     def test_compresses_with_numarck(self):
         """End-to-end: the 3-D substrate feeds the compressor correctly."""
-        from repro.core import NumarckCompressor, NumarckConfig
+        from repro import Codec
+        from repro.core import NumarckConfig
 
         sim = FlashSimulation3D("sedov", n=16, steps_per_checkpoint=2)
         for _ in range(3):
@@ -144,7 +145,7 @@ class TestSimulation3D:
         prev = sim.checkpoint()["pres"]
         sim.advance()
         curr = sim.checkpoint()["pres"]
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        comp = Codec(NumarckConfig(error_bound=1e-3))
         out, enc, stats = comp.roundtrip(prev, curr)
         assert enc.shape == (16, 16, 16)
         assert stats.max_error < 1e-3

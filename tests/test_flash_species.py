@@ -86,7 +86,8 @@ class TestSpecies:
 
     def test_species_compress_like_other_variables(self):
         """Species fields feed NUMARCK exactly like the 10 standard ones."""
-        from repro.core import NumarckCompressor, NumarckConfig
+        from repro import Codec
+        from repro.core import NumarckConfig
 
         solver = _with_species(kelvin_helmholtz)
         for _ in range(10):
@@ -95,6 +96,6 @@ class TestSpecies:
         for _ in range(3):
             solver.step()
         curr = solver.species_fractions()[0].copy()
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        comp = Codec(NumarckConfig(error_bound=1e-3))
         _, enc, stats = comp.roundtrip(prev, curr)
         assert stats.max_error < 1e-3

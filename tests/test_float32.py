@@ -4,11 +4,11 @@ can be applied to floating point numbers of different precision")."""
 import numpy as np
 import pytest
 
+from repro import Codec
 from repro.core import (
-    NumarckCompressor,
     NumarckConfig,
     decode_iteration,
-    encode_iteration,
+    encode_pair,
 )
 from repro.core.metrics import compression_ratio_paper, iteration_stats
 from repro.io import decode_delta_bytes, encode_delta_bytes
@@ -24,14 +24,14 @@ def f32_pair(rng):
 class TestFloat32:
     def test_value_bits_detected(self, f32_pair, smooth_pair):
         prev32, curr32 = f32_pair
-        assert encode_iteration(prev32, curr32).value_bits == 32
+        assert encode_pair(prev32, curr32)[0].value_bits == 32
         prev64, curr64 = smooth_pair
-        assert encode_iteration(prev64, curr64).value_bits == 64
+        assert encode_pair(prev64, curr64)[0].value_bits == 64
 
     def test_guarantee_holds(self, f32_pair):
         prev, curr = f32_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         out = decode_iteration(prev, enc)
         rel = np.abs(out / curr.astype(np.float64) - 1)
         rel[enc.incompressible] = 0
@@ -40,14 +40,14 @@ class TestFloat32:
     def test_exact_values_bit_exact_in_f32(self, rng):
         prev = np.zeros(100, dtype=np.float32)
         curr = rng.normal(size=100).astype(np.float32)
-        enc = encode_iteration(prev, curr)
+        enc = encode_pair(prev, curr)[0]
         out = decode_iteration(prev, enc)
         np.testing.assert_array_equal(out.astype(np.float32), curr)
 
     def test_serialization_roundtrip_half_size_exact_stream(self, rng):
         prev = np.zeros(1000, dtype=np.float32)  # all incompressible
         curr = rng.normal(size=1000).astype(np.float32)
-        enc = encode_iteration(prev, curr)
+        enc = encode_pair(prev, curr)[0]
         assert enc.value_bits == 32
         blob32 = encode_delta_bytes(enc)
         back = decode_delta_bytes(blob32)
@@ -57,8 +57,8 @@ class TestFloat32:
             enc.exact_values.astype(np.float32),
         )
         # Same data as float64 must serialise a larger exact stream.
-        enc64 = encode_iteration(prev.astype(np.float64),
-                                 curr.astype(np.float64))
+        enc64 = encode_pair(prev.astype(np.float64),
+                                 curr.astype(np.float64))[0]
         assert len(encode_delta_bytes(enc64)) > len(blob32) + 1000 * 3
 
     def test_ratio_accounting_uses_32_bits(self, f32_pair):
@@ -66,8 +66,8 @@ class TestFloat32:
         original instead of 8/64, so the ratio ceiling is lower."""
         prev, curr = f32_pair
         stats = iteration_stats(prev, curr,
-                                encode_iteration(prev, curr,
-                                                 NumarckConfig(nbits=8)))
+                                encode_pair(prev, curr,
+                                                 NumarckConfig(nbits=8))[0])
         r64 = compression_ratio_paper(5000, stats.n_incompressible, 8,
                                       value_bits=64)
         assert stats.ratio_paper < r64
@@ -80,7 +80,7 @@ class TestFloat32:
 
     def test_compressor_facade(self, f32_pair):
         prev, curr = f32_pair
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3))
+        comp = Codec(NumarckConfig(error_bound=1e-3))
         out, enc, stats = comp.roundtrip(prev, curr)
         assert enc.value_bits == 32
         assert stats.max_error < 1e-3

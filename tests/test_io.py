@@ -12,7 +12,7 @@ from repro.core import (
     FormatError,
     NumarckConfig,
     decode_iteration,
-    encode_iteration,
+    encode_pair,
 )
 from repro.io import (
     CheckpointFile,
@@ -60,13 +60,13 @@ class TestDeltaPayload:
     @pytest.mark.parametrize("strategy", ["equal_width", "log_scale", "clustering"])
     def test_roundtrip(self, strategy, hard_pair):
         prev, curr = hard_pair
-        enc = encode_iteration(prev, curr, NumarckConfig(strategy=strategy))
+        enc = encode_pair(prev, curr, NumarckConfig(strategy=strategy))[0]
         out = decode_delta_bytes(encode_delta_bytes(enc))
         _assert_encoded_equal(enc, out)
 
     def test_decoded_delta_decodes_identically(self, smooth_pair):
         prev, curr = smooth_pair
-        enc = encode_iteration(prev, curr, NumarckConfig())
+        enc = encode_pair(prev, curr, NumarckConfig())[0]
         enc2 = decode_delta_bytes(encode_delta_bytes(enc))
         np.testing.assert_array_equal(
             decode_iteration(prev, enc), decode_iteration(prev, enc2)
@@ -76,20 +76,20 @@ class TestDeltaPayload:
         prev = rng.uniform(1, 2, (8, 16))
         curr = prev * (1 + rng.normal(0, 0.01, (8, 16)))
         for b in (3, 9, 12):
-            enc = encode_iteration(prev, curr, NumarckConfig(nbits=b))
+            enc = encode_pair(prev, curr, NumarckConfig(nbits=b))[0]
             _assert_encoded_equal(enc, decode_delta_bytes(encode_delta_bytes(enc)))
 
     def test_unreserved_flag_roundtrips(self, rng):
         prev = rng.uniform(1, 2, 100)
-        enc = encode_iteration(prev, prev * 1.01,
-                               NumarckConfig(reserve_zero_bin=False))
+        enc = encode_pair(prev, prev * 1.01,
+                               NumarckConfig(reserve_zero_bin=False))[0]
         assert not decode_delta_bytes(encode_delta_bytes(enc)).zero_reserved
 
     def test_bitmap_population_mismatch_detected(self):
         """A bitmap inconsistent with the exact-value count must be rejected."""
         prev = np.array([0.0, 1.0, 1.0, 1.0])  # one incompressible point
-        enc = encode_iteration(prev, np.array([2.0, 1.0, 1.0, 1.0]),
-                               NumarckConfig())
+        enc = encode_pair(prev, np.array([2.0, 1.0, 1.0, 1.0]),
+                               NumarckConfig())[0]
         assert enc.n_incompressible == 1
         # Rebuild the payload with a second incompressible bit but the same
         # single exact value.
@@ -103,7 +103,7 @@ class TestDeltaPayload:
 
     def test_out_of_range_index_detected(self, rng):
         prev = rng.uniform(1, 2, 64)
-        enc = encode_iteration(prev, prev * 1.05, NumarckConfig(nbits=8))
+        enc = encode_pair(prev, prev * 1.05, NumarckConfig(nbits=8))[0]
         assert enc.representatives.size >= 1
         import dataclasses
 
@@ -195,7 +195,7 @@ class TestContainer:
 
     def test_delta_before_full_rejected(self, tmp_path, rng):
         prev = rng.uniform(1, 2, 50)
-        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        enc = encode_pair(prev, prev * 1.01, NumarckConfig())[0]
         with CheckpointFile.create(tmp_path / "d.nmk") as f:
             f.write_delta(enc)
         with pytest.raises(FormatError, match="before FULL"):
@@ -217,6 +217,6 @@ def test_property_delta_roundtrip(seed, nbits):
     prev = rng.normal(size=150)
     prev[rng.random(150) < 0.1] = 0.0
     curr = prev * (1 + rng.normal(0, 0.05, 150))
-    enc = encode_iteration(prev, curr, NumarckConfig(nbits=nbits))
+    enc = encode_pair(prev, curr, NumarckConfig(nbits=nbits))[0]
     out = decode_delta_bytes(encode_delta_bytes(enc))
     _assert_encoded_equal(enc, out)

@@ -17,7 +17,6 @@ from repro.core import (
     FormatError,
     NumarckConfig,
     SalvageError,
-    StreamingEncoder,
 )
 from repro.io import (
     load_chain,
@@ -250,9 +249,11 @@ def streamed_blob(tmp_path_factory):
                 yield arr[start : start + 256]
         return factory
 
-    encoder = StreamingEncoder(NumarckConfig(error_bound=1e-3),
+    from repro import Codec
+
+    encoder = Codec(NumarckConfig(error_bound=1e-3),
                                chunk_size=256)
-    streamed = encoder.encode(chunks(prev), chunks(curr))
+    streamed = encoder.compress_stream(chunks(prev), chunks(curr))
     path = tmp_path_factory.mktemp("fuzz_stream") / "iter.nms"
     save_streamed(path, streamed)
     return path, path.read_bytes()

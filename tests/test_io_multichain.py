@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CheckpointChain, FormatError, NumarckConfig, encode_iteration
+from repro.core import CheckpointChain, FormatError, NumarckConfig, encode_pair
 from repro.io import MultiChainWriter, load_chains, save_chains
 from repro.simulations.flash import FlashSimulation
 
@@ -83,7 +83,7 @@ class TestWriter:
 
     def test_delta_before_full_rejected(self, tmp_path, rng):
         prev = rng.uniform(1, 2, 50)
-        enc = encode_iteration(prev, prev * 1.01, NumarckConfig())
+        enc = encode_pair(prev, prev * 1.01, NumarckConfig())[0]
         with MultiChainWriter.create(tmp_path / "w.nmk") as w:
             with pytest.raises(FormatError, match="no full"):
                 w.write_delta("a", enc)
@@ -102,8 +102,8 @@ class TestWriter:
             for _ in range(2):
                 na = ca * (1 + rng.normal(0, 0.002, 500))
                 nb = cb * (1 + rng.normal(0, 0.002, 500))
-                w.write_delta("a", encode_iteration(ca, na, cfg))
-                w.write_delta("b", encode_iteration(cb, nb, cfg))
+                w.write_delta("a", encode_pair(ca, na, cfg)[0])
+                w.write_delta("b", encode_pair(cb, nb, cfg)[0])
                 ca, cb = na, nb
         loaded = load_chains(path)
         assert len(loaded["a"]) == 3 and len(loaded["b"]) == 3

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro import Codec
 from repro.core import (
     FormatError,
     NumarckConfig,
-    StreamingEncoder,
     decode_stream,
 )
 from repro.io import load_streamed, save_streamed
@@ -15,8 +15,8 @@ from repro.io import load_streamed, save_streamed
 @pytest.fixture
 def streamed(smooth_pair):
     prev, curr = smooth_pair
-    enc = StreamingEncoder(NumarckConfig(error_bound=1e-3), chunk_size=1000)
-    return prev, curr, enc.encode_arrays(prev, curr)
+    enc = Codec(NumarckConfig(error_bound=1e-3), chunk_size=1000)
+    return prev, curr, enc.compress_stream_arrays(prev, curr)
 
 
 class TestRoundtrip:
@@ -58,8 +58,8 @@ class TestRoundtrip:
 
     def test_empty_like_stream(self, tmp_path, rng):
         prev = rng.uniform(1, 2, 100)
-        s = StreamingEncoder(NumarckConfig(),
-                             chunk_size=50).encode_arrays(prev, prev)
+        s = Codec(NumarckConfig(),
+                  chunk_size=50).compress_stream_arrays(prev, prev)
         path = tmp_path / "e.nms"
         save_streamed(path, s)
         loaded = load_streamed(path)

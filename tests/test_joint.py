@@ -7,7 +7,7 @@ from repro.core import (
     FormatError,
     NumarckConfig,
     decode_joint,
-    encode_iteration,
+    encode_pair,
     encode_joint,
 )
 
@@ -113,7 +113,7 @@ class TestSavings:
         n = prev["a"].size
         separate_bits = 0
         for v in ("a", "b"):
-            enc = encode_iteration(prev[v], curr[v], cfg)
+            enc = encode_pair(prev[v], curr[v], cfg)[0]
             separate_bits += (n * 8 + n + enc.exact_values.size * 64
                               + 255 * 64)
         assert joint.stored_bits() < 0.8 * separate_bits

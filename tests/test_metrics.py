@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import NumarckConfig, encode_iteration, pearson_r, rmse
+from repro.core import NumarckConfig, encode_pair, pearson_r, rmse
 from repro.core.metrics import (
     compression_ratio_actual,
     compression_ratio_paper,
@@ -114,7 +114,7 @@ class TestIterationStats:
     def test_consistency_with_encoding(self, smooth_pair):
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8)
-        enc = encode_iteration(prev, curr, cfg)
+        enc = encode_pair(prev, curr, cfg)[0]
         stats = iteration_stats(prev, curr, enc)
         assert stats.n_points == prev.size
         assert stats.n_incompressible == enc.n_incompressible
@@ -127,5 +127,5 @@ class TestIterationStats:
         """The paper reports mean error ~an order below the bound."""
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-        stats = iteration_stats(prev, curr, encode_iteration(prev, curr, cfg))
+        stats = iteration_stats(prev, curr, encode_pair(prev, curr, cfg)[0])
         assert stats.mean_error < cfg.error_bound / 2

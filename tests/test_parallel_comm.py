@@ -98,3 +98,67 @@ class TestSPMDHarness:
     def test_bad_nprocs(self):
         with pytest.raises(ValueError):
             run_spmd(lambda comm: None, 0)
+
+
+class TestOutOfBandSerialization:
+    """pickle protocol-5 framing used by PipeComm array sends."""
+
+    def _roundtrip(self, obj):
+        from repro.parallel.comm import _dumps, _loads
+
+        return _loads(_dumps(obj))
+
+    def test_plain_objects_skip_oob_framing(self):
+        from repro.parallel.comm import _OOB_MAGIC, _dumps
+
+        payload = _dumps({"a": 1, "b": [2, 3]})
+        assert payload[0] != _OOB_MAGIC  # plain pickle, no extra header
+
+    def test_arrays_use_oob_framing(self):
+        from repro.parallel.comm import _OOB_MAGIC, _dumps
+
+        assert _dumps(np.arange(64.0))[0] == _OOB_MAGIC
+
+    def test_array_roundtrip_bitexact(self):
+        arr = np.linspace(-1.0, 1.0, 4096).reshape(64, 64)
+        out = self._roundtrip(arr)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+
+    def test_decoded_arrays_are_writable(self):
+        out = self._roundtrip(np.zeros(16))
+        out[0] = 1.0  # views into the receive buffer must stay mutable
+        assert out[0] == 1.0
+
+    def test_mixed_payload_roundtrip(self):
+        obj = {"meta": "x", "a": np.arange(10, dtype=np.int32),
+               "b": np.full((3, 3), 2.5), "n": 7}
+        out = self._roundtrip(obj)
+        assert out["meta"] == "x" and out["n"] == 7
+        np.testing.assert_array_equal(out["a"], obj["a"])
+        np.testing.assert_array_equal(out["b"], obj["b"])
+
+    def test_noncontiguous_array_roundtrip(self):
+        arr = np.arange(100.0).reshape(10, 10)[::2, ::3]
+        np.testing.assert_array_equal(self._roundtrip(arr), arr)
+
+    def test_legacy_plain_pickle_still_decodes(self):
+        import pickle
+
+        from repro.parallel.comm import _loads
+
+        obj = {"x": np.arange(5)}
+        out = _loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        np.testing.assert_array_equal(out["x"], obj["x"])
+
+    def test_pipecomm_array_send(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(1000.0), dest=1)
+                return None
+            arr = comm.recv(source=0)
+            arr += 1.0  # received arrays must be writable
+            return float(arr.sum())
+
+        results = run_spmd(worker, 2)
+        assert results[1] == pytest.approx(sum(range(1000)) + 1000)

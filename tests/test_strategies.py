@@ -5,13 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.config import NumarckConfig
 from repro.core.strategies import (
     ClusteringStrategy,
     EqualWidthStrategy,
     LogScaleStrategy,
-    get_strategy,
 )
-from repro.core.strategies.base import BinModel
+from repro.core.strategies.base import ApproximationStrategy, BinModel
 
 ALL = [EqualWidthStrategy(), LogScaleStrategy(), ClusteringStrategy()]
 E = 1e-3
@@ -47,18 +47,25 @@ class TestBinModel:
 
 
 class TestRegistry:
-    def test_lookup(self):
-        assert isinstance(get_strategy("equal_width"), EqualWidthStrategy)
-        assert isinstance(get_strategy("log_scale"), LogScaleStrategy)
-        assert isinstance(get_strategy("clustering"), ClusteringStrategy)
+    def test_from_config_dispatch(self):
+        for name, cls in (("equal_width", EqualWidthStrategy),
+                          ("log_scale", LogScaleStrategy),
+                          ("clustering", ClusteringStrategy)):
+            cfg = NumarckConfig(strategy=name)
+            assert isinstance(ApproximationStrategy.from_config(cfg), cls)
 
-    def test_kwargs_forwarded(self):
-        s = get_strategy("clustering", init="random", max_iter=3)
+    def test_from_config_forwards_clustering_params(self):
+        cfg = NumarckConfig(strategy="clustering", kmeans_init="random",
+                            kmeans_max_iter=3)
+        s = ApproximationStrategy.from_config(cfg)
         assert s.init == "random" and s.max_iter == 3
 
-    def test_unknown(self):
-        with pytest.raises(ValueError, match="unknown strategy"):
-            get_strategy("nope")
+    def test_from_config_on_subclass(self):
+        cfg = NumarckConfig(strategy="clustering")
+        # calling from_config on a concrete class builds THAT class,
+        # regardless of config.strategy
+        assert isinstance(EqualWidthStrategy.from_config(cfg),
+                          EqualWidthStrategy)
 
 
 @pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.name)

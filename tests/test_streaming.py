@@ -6,11 +6,11 @@ import pytest
 from repro.core import (
     FormatError,
     NumarckConfig,
-    StreamingEncoder,
     decode_iteration,
     decode_stream,
-    encode_iteration,
+    encode_pair,
 )
+from repro.core.streaming import _ChunkedEncoder
 
 
 def _chunks(arr, n):
@@ -21,7 +21,7 @@ class TestStreamingEncode:
     def test_roundtrip_within_bound(self, smooth_pair):
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8)
-        enc = StreamingEncoder(cfg, chunk_size=1000)
+        enc = _ChunkedEncoder(cfg, chunk_size=1000)
         streamed = enc.encode_arrays(prev, curr)
         out = np.concatenate(list(decode_stream(
             iter(np.array_split(prev, len(streamed.chunks))), streamed)))
@@ -33,7 +33,7 @@ class TestStreamingEncode:
         """Streamed encoding honours the same per-point invariant."""
         prev, curr = hard_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-        streamed = StreamingEncoder(cfg, chunk_size=500).encode_arrays(prev, curr)
+        streamed = _ChunkedEncoder(cfg, chunk_size=500).encode_arrays(prev, curr)
         enc = streamed.as_encoded_iteration()
         out = decode_iteration(prev.ravel(), enc)
         exact = enc.incompressible
@@ -46,15 +46,15 @@ class TestStreamingEncode:
         """Sampled model fitting should cost at most a little extra gamma."""
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3, nbits=8)
-        one_shot = encode_iteration(prev, curr, cfg)
-        streamed = StreamingEncoder(cfg, chunk_size=777,
+        one_shot = encode_pair(prev, curr, cfg)[0]
+        streamed = _ChunkedEncoder(cfg, chunk_size=777,
                                     sample_size=2000).encode_arrays(prev, curr)
         gamma_stream = sum(c.exact_values.size for c in streamed.chunks) / prev.size
         assert gamma_stream <= one_shot.incompressible_ratio + 0.05
 
     def test_chunk_starts_contiguous(self, smooth_pair):
         prev, curr = smooth_pair
-        streamed = StreamingEncoder(NumarckConfig(),
+        streamed = _ChunkedEncoder(NumarckConfig(),
                                     chunk_size=999).encode_arrays(prev, curr)
         pos = 0
         for c in streamed.chunks:
@@ -64,7 +64,7 @@ class TestStreamingEncode:
 
     def test_unchanged_stream_no_model(self, rng):
         prev = rng.uniform(1, 2, 3000)
-        streamed = StreamingEncoder(NumarckConfig(),
+        streamed = _ChunkedEncoder(NumarckConfig(),
                                     chunk_size=1000).encode_arrays(prev, prev)
         assert streamed.representatives.size == 0
         out = np.concatenate(list(decode_stream(
@@ -75,7 +75,7 @@ class TestStreamingEncode:
         prev = np.array([0.0, 0.0, 1.0, 1.0] * 100)
         curr = np.array([0.0, 2.0, np.nan, 1.001] * 100)
         cfg = NumarckConfig(error_bound=1e-2)
-        streamed = StreamingEncoder(cfg, chunk_size=64).encode_arrays(prev, curr)
+        streamed = _ChunkedEncoder(cfg, chunk_size=64).encode_arrays(prev, curr)
         out = np.concatenate(list(decode_stream(
             iter(np.array_split(prev, len(streamed.chunks))), streamed)))
         np.testing.assert_array_equal(np.isnan(out), np.isnan(curr))
@@ -84,7 +84,7 @@ class TestStreamingEncode:
             np.abs(out[3::4] - curr[3::4])) < 2e-2
 
     def test_mismatched_streams_rejected(self, rng):
-        enc = StreamingEncoder(NumarckConfig(), chunk_size=100)
+        enc = _ChunkedEncoder(NumarckConfig(), chunk_size=100)
         prev = rng.uniform(1, 2, 200)
         curr = rng.uniform(1, 2, 300)
         with pytest.raises(FormatError):
@@ -92,7 +92,7 @@ class TestStreamingEncode:
 
     def test_stream_change_between_passes_detected(self, rng):
         """If the replayed stream differs in length, encoding must fail."""
-        enc = StreamingEncoder(NumarckConfig(), chunk_size=100)
+        enc = _ChunkedEncoder(NumarckConfig(), chunk_size=100)
         prev = rng.uniform(1, 2, 400)
         curr = prev * 1.01
         calls = {"n": 0}
@@ -107,21 +107,21 @@ class TestStreamingEncode:
 
     def test_decode_wrong_chunking_rejected(self, smooth_pair):
         prev, curr = smooth_pair
-        streamed = StreamingEncoder(NumarckConfig(),
+        streamed = _ChunkedEncoder(NumarckConfig(),
                                     chunk_size=1000).encode_arrays(prev, curr)
         with pytest.raises(FormatError, match="reference has"):
             list(decode_stream(iter([prev]), streamed))
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            StreamingEncoder(chunk_size=0)
+            _ChunkedEncoder(chunk_size=0)
         with pytest.raises(ValueError):
-            StreamingEncoder(sample_size=4)
+            _ChunkedEncoder(sample_size=4)
 
     def test_single_chunk_equals_whole(self, smooth_pair):
         prev, curr = smooth_pair
         cfg = NumarckConfig(error_bound=1e-3)
-        streamed = StreamingEncoder(cfg, chunk_size=10**9,
+        streamed = _ChunkedEncoder(cfg, chunk_size=10**9,
                                     sample_size=200_000).encode_arrays(prev, curr)
         assert len(streamed.chunks) == 1
         enc = streamed.as_encoded_iteration()

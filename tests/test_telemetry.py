@@ -5,7 +5,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import CheckpointChain, NumarckCompressor, NumarckConfig
+from repro import Codec
+from repro.core import CheckpointChain, NumarckConfig
 from repro.io import load_chain, save_chain
 from repro.io.format import encode_delta_bytes, encode_full_bytes
 from repro.telemetry import (
@@ -241,7 +242,7 @@ class TestAccounting:
         prev = rng.uniform(1.0, 2.0, 4000)
         curr = prev * (1 + rng.normal(0, 0.01, 4000))
         curr[::97] = np.nan  # force some incompressible points
-        comp = NumarckCompressor(NumarckConfig(error_bound=1e-3, nbits=8))
+        comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
         return comp.compress(prev, curr)
 
     def test_delta_matches_serialiser(self, encoded):
@@ -250,7 +251,7 @@ class TestAccounting:
     def test_delta_matches_serialiser_float32(self, rng):
         prev = rng.uniform(1.0, 2.0, 1000).astype(np.float32)
         curr = (prev * (1 + rng.normal(0, 0.01, 1000))).astype(np.float32)
-        enc = NumarckCompressor(NumarckConfig(error_bound=1e-3)).compress(
+        enc = Codec(NumarckConfig(error_bound=1e-3)).compress(
             prev, curr)
         assert delta_payload_nbytes(enc) == len(encode_delta_bytes(enc))
 
@@ -275,7 +276,7 @@ class TestIntegration:
         curr = prev * (1 + rng.normal(0, 0.02, 20_000))
         tel = Telemetry()
         with use(tel):
-            comp = NumarckCompressor(
+            comp = Codec(
                 NumarckConfig(error_bound=1e-3, nbits=8,
                               strategy="clustering"))
             chain = CheckpointChain(prev, comp.config)
@@ -425,15 +426,15 @@ class TestEnvActivation:
         env["NUMARCK_TRACE"] = str(trace)
         code = (
             "import numpy as np\n"
-            "from repro import NumarckCompressor, NumarckConfig\n"
+            "from repro import Codec, NumarckConfig\n"
             "rng = np.random.default_rng(0)\n"
             "prev = rng.uniform(1, 2, 5000)\n"
             "curr = prev * (1 + rng.normal(0, 0.01, 5000))\n"
-            "NumarckCompressor(NumarckConfig(error_bound=1e-3))"
+            "Codec(NumarckConfig(error_bound=1e-3))"
             ".compress(prev, curr)\n"
         )
         subprocess.run([sys.executable, "-c", code], check=True, env=env,
                        timeout=120)
         names = {r["name"] for r in read_spans(trace)}
-        assert "pipeline.compress" in names
+        assert "codec.compress" in names
         assert "encode" in names

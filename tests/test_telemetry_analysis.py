@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import NumarckCompressor, NumarckConfig
+from repro import Codec
+from repro.core import NumarckConfig
 from repro.telemetry import (
     Telemetry,
     critical_path,
@@ -150,10 +151,10 @@ class TestFoldedStacks:
         curr = prev * (1 + rng.normal(0, 0.002, 5000))
         tel = Telemetry()
         with use(tel):
-            NumarckCompressor(NumarckConfig(error_bound=1e-3)).compress(
+            Codec(NumarckConfig(error_bound=1e-3)).compress(
                 prev, curr)
         lines = folded_stacks([s.to_dict() for s in tel.spans])
-        assert any(line.startswith("pipeline.compress;encode ")
+        assert any(line.startswith("codec.compress;encode ")
                    for line in lines)
 
 
@@ -182,7 +183,7 @@ class TestDiff:
         for strategy in ("equal_width", "clustering"):
             tel = Telemetry()
             with use(tel):
-                NumarckCompressor(NumarckConfig(
+                Codec(NumarckConfig(
                     error_bound=1e-3, strategy=strategy)).compress(prev, curr)
             traces[strategy] = [s.to_dict() for s in tel.spans]
         diffs = diff_traces(traces["equal_width"], traces["clustering"])
