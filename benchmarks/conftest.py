@@ -122,7 +122,7 @@ def cmip_trajectory(variable: str, n_iters: int, nlat: int = 90,
 
 def series_stats(trajectory: list[np.ndarray], config: NumarckConfig):
     """Per-iteration CompressionStats along a trajectory."""
-    comp = Codec(config)
+    comp = Codec(config=config)
     out = []
     for prev, curr in zip(trajectory, trajectory[1:]):
         out.append(comp.stats(prev, curr))

@@ -1,0 +1,72 @@
+"""Service-path overhead benchmarks.
+
+Measures what the service adds on top of the raw codec: the wire framing,
+the in-memory container round trip, and a full submit→wait→result cycle
+through the in-process ``CompressionService`` (queue + worker handoff +
+telemetry routing, no HTTP).  The HTTP layer itself is exercised by the
+integration tests; its cost is dominated by the socket stack, not by
+code this repo can regress.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Codec
+from repro.core import NumarckConfig
+from repro.io import chain_from_bytes, chain_to_bytes
+from repro.service import CompressionService, ServiceConfig
+from repro.service.wire import pack_arrays, unpack_arrays
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def states():
+    rng = np.random.default_rng(7)
+    base = rng.uniform(1.0, 2.0, N)
+    return [base, base * (1.0 + rng.normal(0.0, 0.002, N))]
+
+
+@pytest.fixture(scope="module")
+def chain(states):
+    codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8,
+                                       strategy="equal_width"))
+    return codec.compress_chain(states)
+
+
+def test_wire_pack_throughput(benchmark, states):
+    payload = benchmark(pack_arrays, states)
+    assert len(payload) > 2 * N * 8
+
+
+def test_wire_unpack_throughput(benchmark, states):
+    payload = pack_arrays(states)
+    arrays = benchmark(unpack_arrays, payload)
+    assert len(arrays) == 2
+
+
+def test_chain_to_bytes_throughput(benchmark, chain):
+    blob = benchmark(chain_to_bytes, chain)
+    assert blob
+
+
+def test_chain_from_bytes_throughput(benchmark, chain):
+    blob = chain_to_bytes(chain)
+    rebuilt = benchmark(chain_from_bytes, blob)
+    assert len(rebuilt) == len(chain)
+
+
+def test_service_job_cycle_throughput(benchmark, states):
+    """One submit→wait→result cycle per round, against a live queue."""
+    cfg = {"error_bound": 1e-3, "nbits": 8, "strategy": "equal_width"}
+    body = pack_arrays([states[1]])
+    with CompressionService(ServiceConfig(workers=1, capacity=4)) as svc:
+        counter = iter(range(10_000_000))
+
+        def cycle():
+            job = svc.submit_compress(f"bench-{next(counter)}", body, cfg)
+            svc.queue.wait(job.id, timeout=60)
+            return svc.job_result(job.id)
+
+        result = benchmark(cycle)
+    assert b"full" in result

@@ -34,7 +34,7 @@ def _run(flash_trajectory):
             traj = [cp[var] for cp in flash_trajectory][: N_ITERS + 1]
             nbits, w0 = 8, 256
         comp = Codec(
-            NumarckConfig(error_bound=5e-3, nbits=nbits, strategy="clustering")
+            config=NumarckConfig(error_bound=5e-3, nbits=nbits, strategy="clustering")
         )
         bs = BSplineCompressor(coef_fraction=0.8)
         isa = IsabelaCompressor(window_size=w0, n_coef=30)

@@ -28,7 +28,7 @@ def pair():
 
 def test_encode_clustering_throughput(benchmark, pair):
     prev, curr = pair
-    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+    comp = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8,
                                            strategy="clustering"))
     enc = benchmark(comp.compress, prev, curr)
     assert enc.n_points == N
@@ -36,7 +36,7 @@ def test_encode_clustering_throughput(benchmark, pair):
 
 def test_encode_equal_width_throughput(benchmark, pair):
     prev, curr = pair
-    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+    comp = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8,
                                            strategy="equal_width"))
     enc = benchmark(comp.compress, prev, curr)
     assert enc.n_points == N
@@ -44,7 +44,7 @@ def test_encode_equal_width_throughput(benchmark, pair):
 
 def test_decode_throughput(benchmark, pair):
     prev, curr = pair
-    comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+    comp = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8))
     enc = comp.compress(prev, curr)
     out = benchmark(decode_iteration, prev, enc)
     assert out.shape == (N,)

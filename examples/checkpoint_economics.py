@@ -24,7 +24,7 @@ from repro.simulations.flash import FlashSimulation
 sim = FlashSimulation("sedov", ny=64, nx=64, steps_per_checkpoint=3)
 for _ in range(4):
     sim.advance()
-comp = Codec(NumarckConfig(error_bound=5e-3, nbits=8,
+comp = Codec(config=NumarckConfig(error_bound=5e-3, nbits=8,
                                        strategy="clustering"))
 ratios = []
 prev = sim.checkpoint()

@@ -25,7 +25,7 @@ for var in CMIP_VARIABLES:
     summary = summarize_changes(traj[0], traj[1])
     for strat in ("equal_width", "log_scale", "clustering"):
         cfg = NumarckConfig(error_bound=E, nbits=9, strategy=strat)
-        comp = Codec(cfg)
+        comp = Codec(config=cfg)
         stats = [comp.stats(p, c) for p, c in zip(traj, traj[1:])]
         rows_strategy.append([
             var, strat,
@@ -36,7 +36,7 @@ for var in CMIP_VARIABLES:
 
     # Baselines on the final iteration.
     curr = traj[-1]
-    comp = Codec(NumarckConfig(error_bound=E, nbits=9))
+    comp = Codec(config=NumarckConfig(error_bound=E, nbits=9))
     out, _, stats = comp.roundtrip(traj[-2], curr)
     bs = BSplineCompressor(0.8)
     isa = IsabelaCompressor(512, 30)

@@ -93,7 +93,7 @@ for strategy in ("equal_width", "clustering"):
     run_tel = Telemetry()
     with use(run_tel):
         comp = Codec(
-            NumarckConfig(error_bound=1e-3, nbits=8, strategy=strategy))
+            config=NumarckConfig(error_bound=1e-3, nbits=8, strategy=strategy))
         comp.decompress(prev, comp.compress(prev, curr))
     traces[strategy] = [s.to_dict() for s in run_tel.spans]
 

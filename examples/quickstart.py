@@ -16,7 +16,7 @@ current = previous * (1.0 + rng.normal(0.0, 0.002, size=previous.size))
 # User knobs: a hard 0.1 % per-point error bound on the change ratio, 8-bit
 # indices, and the paper's best strategy (k-means clustering).
 config = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-compressor = Codec(config)
+compressor = Codec(config=config)
 
 encoded = compressor.compress(previous, current)
 decoded = compressor.decompress(previous, encoded)

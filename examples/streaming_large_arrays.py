@@ -20,7 +20,7 @@ prev = rng.uniform(1.0, 2.0, N)
 curr = prev * (1.0 + rng.normal(0.0, 0.002, N))
 
 n_chunks = -(-N // CHUNK)
-codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8),
+codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8),
               chunk_size=CHUNK, sample_size=100_000)
 
 # In production the factories would read chunks from disk / the simulation;

@@ -11,7 +11,7 @@ Quick start::
     import numpy as np
     from repro import Codec, NumarckConfig
 
-    codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+    codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8,
                                 strategy="clustering"))
     encoded = codec.compress(prev_iteration, curr_iteration)
     decoded = codec.decompress(prev_iteration, encoded)

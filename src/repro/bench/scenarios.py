@@ -74,7 +74,7 @@ def _compress_work(pairs, strategy: str) -> Callable[[], dict[str, Any]]:
     from repro.codec import Codec
     from repro.core import NumarckConfig
 
-    codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8,
+    codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8,
                                 strategy=strategy))
 
     def work() -> dict[str, Any]:
@@ -174,7 +174,7 @@ def _chain_codec_work(pairs, *, adaptive: bool) -> Callable[[], dict[str, Any]]:
     def work() -> dict[str, Any]:
         from repro.telemetry.accounting import delta_payload_nbytes
 
-        codec = Codec(config)  # fresh model cache: repeats stay independent
+        codec = Codec(config=config)  # fresh model cache: repeats stay independent
         n_points = 0
         bytes_out = 0
         hits = 0

@@ -79,19 +79,50 @@ def _config_from_args(args: argparse.Namespace,
     return NumarckConfig(**kwargs) if kwargs else NumarckConfig()
 
 
-def _add_config_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--error-bound", type=float, default=None,
+def _hidden_alias(p: argparse.ArgumentParser, *flags: str, dest: str,
+                  **kwargs) -> None:
+    """Register a legacy spelling: parses like the canonical flag but is
+    absent from ``--help`` and never overrides the canonical default."""
+    p.add_argument(*flags, dest=dest, default=argparse.SUPPRESS,
+                   help=argparse.SUPPRESS, **kwargs)
+
+
+def _config_parent() -> argparse.ArgumentParser:
+    """Shared parent holding the compression flags, so every subcommand
+    spells them identically (``-E`` is the short form of
+    ``--error-bound``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("compression options")
+    g.add_argument("--error-bound", "-E", type=float, default=None,
                    help="per-point tolerance E on the change ratio")
-    p.add_argument("--nbits", type=int, default=None,
+    g.add_argument("--nbits", type=int, default=None,
                    help="index width B (table has 2^B - 1 bins)")
-    p.add_argument("--strategy", default=None,
+    g.add_argument("--strategy", default=None,
                    choices=("equal_width", "log_scale", "clustering"))
-    p.add_argument("--adaptive", action="store_true",
+    g.add_argument("--adaptive", action="store_true",
                    help="reuse the fitted bin model across iterations, "
                         "refitting only on drift (see --drift-threshold)")
-    p.add_argument("--drift-threshold", type=float, default=None,
+    g.add_argument("--drift-threshold", type=float, default=None,
                    help="refit when the incompressible fraction rises more "
                         "than this above the last fit's (default 0.05)")
+    return parent
+
+
+def _output_parent(*, required: bool = False,
+                   default: str | None = None,
+                   help_text: str = "output file") -> argparse.ArgumentParser:
+    """Shared parent for the destination flag: canonical ``--output``/
+    ``-o`` with the legacy ``--out`` spelling as a hidden alias."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--output", "-o", dest="output",
+                        default=default, help=help_text)
+    _hidden_alias(parent, "--out", dest="output")
+    # argparse's `required=` would not be satisfied by the alias action;
+    # main() enforces presence after parsing instead.
+    parent.set_defaults(_require_output=required)
+    return parent
+
+
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
@@ -190,7 +221,7 @@ def _cmd_extract_multi(args: argparse.Namespace) -> int:
 def _cmd_compress_chain(args: argparse.Namespace) -> int:
     from repro.codec import Codec
 
-    codec = Codec(_config_from_args(args))
+    codec = Codec(config=_config_from_args(args))
     chain = codec.compress_chain(_load_array(p) for p in args.arrays)
     nbytes = save_chain(args.chain, chain)
     line = (f"{args.chain}: {len(chain)} iterations "
@@ -219,9 +250,25 @@ def _cmd_compress_stream(args: argparse.Namespace) -> int:
     from repro.codec import Codec
     from repro.io import save_streamed
 
-    codec = Codec(_config_from_args(args), chunk_size=args.chunk_size)
-    streamed = codec.compress_stream(_memmap_chunks(args.prev, args.chunk_size),
-                                     _memmap_chunks(args.curr, args.chunk_size))
+    if args.output is not None:
+        if len(args.paths) != 2:
+            print("error: with --output, give exactly PREV CURR",
+                  file=sys.stderr)
+            return 2
+        prev, curr = args.paths
+    elif len(args.paths) == 3:
+        # Legacy `compress-stream OUTPUT PREV CURR` spelling.
+        args.output, prev, curr = args.paths
+        print("note: positional OUTPUT is deprecated; "
+              "use --output/-o", file=sys.stderr)
+    else:
+        print("error: give PREV CURR with --output OUTPUT "
+              "(or the legacy OUTPUT PREV CURR)", file=sys.stderr)
+        return 2
+
+    codec = Codec(config=_config_from_args(args), chunk_size=args.chunk_size)
+    streamed = codec.compress_stream(_memmap_chunks(prev, args.chunk_size),
+                                     _memmap_chunks(curr, args.chunk_size))
     nbytes = save_streamed(args.output, streamed)
     n_exact = sum(c.exact_values.size for c in streamed.chunks)
     raw = streamed.n_points * 8
@@ -557,6 +604,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.http import serve
+
+    config = ServiceConfig(workers=args.workers, capacity=args.capacity,
+                           retry_after=args.retry_after,
+                           store_dir=args.store_dir,
+                           codec=_config_from_args(args))
+    serve(config, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.errors import FormatError
 
@@ -578,76 +637,105 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="NUMARCK error-bounded checkpoint compression",
     )
+    parser.add_argument("--trace", dest="trace_out", metavar="FILE",
+                        default=None,
+                        help="write telemetry spans of this invocation to a "
+                             ".jsonl file (flag form of NUMARCK_TRACE)")
+    cfg = _config_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("init", help="create a chain from a full checkpoint")
+    p = sub.add_parser("init", parents=[cfg],
+                       help="create a chain from a full checkpoint")
     p.add_argument("chain", help="output .nmk chain file")
     p.add_argument("array", help="input .npy array")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_init)
 
-    p = sub.add_parser("append", help="append one iteration to a chain")
+    p = sub.add_parser("append", parents=[cfg],
+                       help="append one iteration to a chain")
     p.add_argument("chain", help=".nmk chain file")
     p.add_argument("array", help="input .npy array")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_append)
 
-    p = sub.add_parser("extract", help="decode an iteration to .npy")
+    p = sub.add_parser("extract", help="decode an iteration to .npy",
+                       parents=[_output_parent(required=True,
+                                               help_text="output .npy file")])
     p.add_argument("chain", help=".nmk chain file")
     p.add_argument("--iteration", "-i", type=int, default=None,
                    help="iteration index (default: latest)")
-    p.add_argument("--output", "-o", required=True, help="output .npy file")
     p.set_defaults(func=_cmd_extract)
 
-    p = sub.add_parser("init-multi",
+    p = sub.add_parser("init-multi", parents=[cfg],
                        help="create a multi-variable chain from a .npz checkpoint")
     p.add_argument("chain", help="output .nmk file")
     p.add_argument("checkpoint", help="input .npz archive (one array per variable)")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_init_multi)
 
-    p = sub.add_parser("append-multi",
+    p = sub.add_parser("append-multi", parents=[cfg],
                        help="append one .npz checkpoint to a multi-variable chain")
     p.add_argument("chain", help=".nmk file")
     p.add_argument("checkpoint", help="input .npz archive")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_append_multi)
 
     p = sub.add_parser("extract-multi",
-                       help="decode a multi-variable iteration to .npz")
+                       help="decode a multi-variable iteration to .npz",
+                       parents=[_output_parent(required=True,
+                                               help_text="output .npz file")])
     p.add_argument("chain", help=".nmk file")
     p.add_argument("--iteration", "-i", type=int, default=None)
-    p.add_argument("--output", "-o", required=True, help="output .npz file")
     p.set_defaults(func=_cmd_extract_multi)
 
-    p = sub.add_parser("compress-chain",
+    p = sub.add_parser("compress-chain", parents=[cfg],
                        help="build a whole chain from .npy iterations in "
                             "one shot (first array is the full checkpoint); "
                             "--adaptive reuses the bin model across them")
     p.add_argument("chain", help="output .nmk chain file")
     p.add_argument("arrays", nargs="+",
                    help="iteration .npy arrays, in simulation order")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_compress_chain)
 
     p = sub.add_parser("compress-stream",
+                       parents=[cfg,
+                                _output_parent(help_text="output .nms "
+                                                         "stream file")],
                        help="chunked compression of one iteration pair "
                             "(out-of-core, memory-mapped)")
-    p.add_argument("output", help="output .nms stream file")
-    p.add_argument("prev", help="reference iteration (.npy)")
-    p.add_argument("curr", help="iteration to compress (.npy)")
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="PREV CURR .npy arrays (with --output); the legacy "
+                        "OUTPUT PREV CURR positional form still works")
     p.add_argument("--chunk-size", type=int, default=1 << 20,
                    help="points per chunk (default 1M)")
-    _add_config_flags(p)
     p.set_defaults(func=_cmd_compress_stream)
 
     p = sub.add_parser("decompress-stream",
+                       parents=[_output_parent(required=True,
+                                               help_text="output .npy file")],
                        help="chunked decode of a .nms stream against its "
                             "reference iteration")
     p.add_argument("stream", help=".nms stream file")
     p.add_argument("prev", help="reference iteration (.npy)")
-    p.add_argument("--output", "-o", required=True, help="output .npy file")
     p.set_defaults(func=_cmd_decompress_stream)
+
+    p = sub.add_parser("serve", parents=[cfg],
+                       help="run the compression service: an HTTP job API "
+                            "over per-tenant checkpoint chains (the "
+                            "compression flags set the default chain "
+                            "config)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port, 0 for ephemeral (default 8765)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="compression worker threads (default 2)")
+    p.add_argument("--capacity", type=int, default=32,
+                   help="queued-job bound before submits get 429 "
+                        "(default 32)")
+    p.add_argument("--retry-after", type=float, default=0.05,
+                   help="Retry-After hint on 429 responses, seconds "
+                        "(default 0.05)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persist chains under DIR (crash-consistent "
+                        "appends; chains are recovered on restart)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("inspect", help="summarise a chain file (either flavour)")
     p.add_argument("chain", help=".nmk chain file")
@@ -684,8 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only this scenario (repeatable; default: all)")
     b.add_argument("--repeats", type=int, default=5,
                    help="timed repeats per scenario (default 5)")
-    b.add_argument("--out", default="bench_results",
+    b.add_argument("--output", "-o", dest="out", default="bench_results",
                    help="output directory (default: bench_results)")
+    _hidden_alias(b, "--out", dest="out")
     b.add_argument("--no-memory", action="store_true",
                    help="skip the separate memory-gauged pass")
     b.set_defaults(func=_cmd_bench_run)
@@ -762,7 +851,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "_require_output", False) and args.output is None:
+        print(f"error: {args.command}: --output/-o is required",
+              file=sys.stderr)
+        return 2
     try:
+        if args.trace_out is not None:
+            from repro.telemetry import JsonlSink, Telemetry, use
+
+            tel = Telemetry(sink=JsonlSink(args.trace_out), keep_spans=False)
+            try:
+                with use(tel):
+                    return args.func(args)
+            finally:
+                tel.close()
         return args.func(args)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"error: {exc}", file=sys.stderr)

@@ -11,7 +11,7 @@ a single configured object:
 >>> rng = np.random.default_rng(0)
 >>> prev = rng.uniform(1.0, 2.0, size=1000)
 >>> curr = prev * (1.0 + rng.normal(0.0, 0.002, size=1000))
->>> codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+>>> codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8))
 >>> enc = codec.compress(prev, curr)
 >>> out = codec.decompress(prev, enc)
 >>> bool(np.all(np.abs(out / prev - curr / prev) < 1e-3 + 1e-12))
@@ -25,6 +25,7 @@ only on drift -- see :mod:`repro.core.adaptive`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -44,19 +45,40 @@ __all__ = ["Codec"]
 class Codec:
     """Configured NUMARCK compressor: pairs, chains and chunked streams.
 
-    Parameters
-    ----------
+    Parameters (all keyword-only)
+    -----------------------------
     config:
         Compression parameters; defaults to ``NumarckConfig()``.  Set
         ``adaptive=True`` to reuse the fitted bin model across calls.
     chunk_size / sample_size:
         Chunking parameters for :meth:`compress_stream` (points per chunk,
         reservoir size of the model-fit pass).
+
+    .. deprecated::
+        ``Codec(cfg)`` with a positional config still works but warns;
+        use ``Codec(config=cfg)``.
     """
 
-    def __init__(self, config: NumarckConfig | None = None, *,
+    def __init__(self, *args: NumarckConfig,
+                 config: NumarckConfig | None = None,
                  chunk_size: int = 1 << 20,
                  sample_size: int = 200_000) -> None:
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"Codec() takes at most one positional argument "
+                    f"({len(args)} given)"
+                )
+            if config is not None:
+                raise TypeError(
+                    "Codec() got multiple values for argument 'config'"
+                )
+            warnings.warn(
+                "positional Codec(cfg) is deprecated; use Codec(config=cfg)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = args[0]
         self.config = config if config is not None else NumarckConfig()
         self._chunked = _ChunkedEncoder(self.config, chunk_size, sample_size)
         self._adaptive = (AdaptiveEncoder(self.config)

@@ -26,12 +26,47 @@ All tunables of the paper's Algorithm 1 live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Literal
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Literal
 
 from repro.core.errors import ConfigError
 
 __all__ = ["NumarckConfig"]
+
+
+class _KwOnlyMeta(type):
+    """Keyword-only construction with a deprecation shim for positional calls.
+
+    The public config surface is keyword-only (positional slots would turn
+    every field reorder into a silent behaviour change); legacy positional
+    calls still work but emit a once-per-callsite ``DeprecationWarning``,
+    mirroring the PR-5 facade shims.
+    """
+
+    def __call__(cls, *args: Any, **kwargs: Any):
+        if args:
+            names = [f.name for f in fields(cls)]
+            if len(args) > len(names):
+                raise TypeError(
+                    f"{cls.__name__}() takes at most {len(names)} "
+                    f"arguments ({len(args)} given)"
+                )
+            warnings.warn(
+                f"positional {cls.__name__}(...) arguments are deprecated; "
+                f"pass fields by keyword "
+                f"(e.g. {cls.__name__}({names[0]}=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for name, value in zip(names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                kwargs[name] = value
+        return super().__call__(**kwargs)
 
 StrategyName = Literal["equal_width", "log_scale", "clustering"]
 ReferenceMode = Literal["original", "reconstructed"]
@@ -41,11 +76,14 @@ _MAX_NBITS = 16
 
 
 @dataclass(frozen=True)
-class NumarckConfig:
-    """Validated bundle of NUMARCK parameters.
+class NumarckConfig(metaclass=_KwOnlyMeta):
+    """Validated bundle of NUMARCK parameters (keyword-only construction).
 
     Raises :class:`~repro.core.errors.ConfigError` on construction for any
     out-of-range value, so a config object is always safe to use.
+    ``to_dict()`` / ``from_dict()`` round-trip the config through plain
+    JSON-compatible dicts -- the wire form used by the compression
+    service's job-submit body (:mod:`repro.service`).
     """
 
     error_bound: float = 1e-3
@@ -93,3 +131,31 @@ class NumarckConfig:
     def with_(self, **kwargs) -> "NumarckConfig":
         """Return a copy with the given fields replaced (re-validated)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict of every field (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "NumarckConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.core.errors.ConfigError` (typos
+        in a job-submit body must not silently fall back to defaults);
+        missing keys take their defaults, so partial dicts work as
+        overrides.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"config must be a dict of fields, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown config keys {unknown}; valid keys: {sorted(known)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(str(exc)) from exc

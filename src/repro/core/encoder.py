@@ -318,14 +318,14 @@ def encode_iteration(
     """Compress iteration ``curr`` as change ratios against ``prev``.
 
     .. deprecated::
-        Use :class:`repro.Codec` (``Codec(config).compress(prev, curr)``)
+        Use :class:`repro.Codec` (``Codec(config=config).compress(prev, curr)``)
         or :func:`encode_pair` when the reuse report is needed.
 
     ``model_hint`` forwards to :func:`encode_pair`; without a drift gate
     the hinted table is used unconditionally.
     """
     warnings.warn(
-        "encode_iteration() is deprecated; use repro.Codec(config)"
+        "encode_iteration() is deprecated; use repro.Codec(config=config)"
         ".compress(prev, curr) or repro.core.encoder.encode_pair()",
         DeprecationWarning,
         stacklevel=2,

@@ -1,63 +1,21 @@
-"""Exception hierarchy and damage reports for the NUMARCK library."""
+"""Exception hierarchy and damage reports (back-compat aliases).
+
+The canonical definitions moved to :mod:`repro.errors`, the library-wide
+public error module; everything re-exported here is the *same object*, so
+``except repro.core.errors.FormatError`` and ``isinstance`` checks keep
+working unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.errors import (
+    ConfigError,
+    FormatError,
+    NumarckError,
+    SalvageError,
+    SalvageReport,
+    StateError,
+)
 
 __all__ = ["NumarckError", "ConfigError", "FormatError", "SalvageError",
-           "SalvageReport"]
-
-
-class NumarckError(Exception):
-    """Base class for all library-specific errors."""
-
-
-class ConfigError(NumarckError, ValueError):
-    """Invalid compression configuration (bad error bound, bit width, ...)."""
-
-
-class FormatError(NumarckError, ValueError):
-    """Corrupt or incompatible serialized checkpoint data."""
-
-
-class SalvageError(FormatError):
-    """A salvage-mode read found nothing recoverable.
-
-    Raised by ``load_chain(..., recover="tail")`` and friends when the
-    file's header is invalid or no complete record survives -- there is no
-    valid prefix to return.  Subclasses :class:`FormatError`, so strict
-    callers keep working unchanged.
-    """
-
-
-@dataclass(frozen=True)
-class SalvageReport:
-    """Outcome of a salvage-mode read or an on-disk repair.
-
-    A *torn tail* (the damage crash-consistent appends can leave behind)
-    loses at most the record being written when the crash hit; the report
-    records exactly what was kept and what was cut.  Framing is lost at the
-    first bad byte, so ``records_dropped`` is 0 for a clean file and 1 when
-    a damaged trailing region was discarded -- the region may have held a
-    partial record or one whole corrupt record, never more that could be
-    counted.
-    """
-
-    path: str
-    records_kept: int
-    records_dropped: int
-    bytes_truncated: int
-    reason: str | None = None
-
-    @property
-    def clean(self) -> bool:
-        """True when the file needed no salvage at all."""
-        return self.reason is None
-
-    def describe(self) -> str:
-        """One-line human-readable summary."""
-        if self.clean:
-            return f"{self.path}: clean ({self.records_kept} records)"
-        return (f"{self.path}: kept {self.records_kept} records, dropped "
-                f"{self.records_dropped} damaged trailing region "
-                f"({self.bytes_truncated} bytes): {self.reason}")
+           "SalvageReport", "StateError"]

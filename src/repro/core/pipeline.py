@@ -10,7 +10,7 @@ behind one configured object:
 >>> rng = np.random.default_rng(0)
 >>> prev = rng.uniform(1.0, 2.0, size=1000)
 >>> curr = prev * (1.0 + rng.normal(0.0, 0.002, size=1000))
->>> codec = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+>>> codec = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8))
 >>> enc = codec.compress(prev, curr)
 >>> out = codec.decompress(prev, enc)
 >>> bool(np.all(np.abs(out / prev - curr / prev) < 1e-3 + 1e-12))
@@ -38,9 +38,9 @@ class NumarckCompressor(Codec):
 
     def __init__(self, config: NumarckConfig | None = None) -> None:
         warnings.warn(
-            "NumarckCompressor is deprecated; use repro.Codec(config) "
+            "NumarckCompressor is deprecated; use repro.Codec(config=config) "
             "(same compress/decompress/stats/roundtrip methods)",
             DeprecationWarning,
             stacklevel=2,
         )
-        super().__init__(config)
+        super().__init__(config=config)

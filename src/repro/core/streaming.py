@@ -265,7 +265,7 @@ class StreamingEncoder(_ChunkedEncoder):
     """Two-pass chunked encoder.
 
     .. deprecated::
-        Use :class:`repro.Codec` -- ``Codec(config, chunk_size=...)``
+        Use :class:`repro.Codec` -- ``Codec(config=config, chunk_size=...)``
         with :meth:`~repro.Codec.compress_stream` /
         :meth:`~repro.Codec.decompress_stream`.
     """
@@ -273,7 +273,7 @@ class StreamingEncoder(_ChunkedEncoder):
     def __init__(self, config: NumarckConfig | None = None,
                  chunk_size: int = 1 << 20, sample_size: int = 200_000) -> None:
         warnings.warn(
-            "StreamingEncoder is deprecated; use repro.Codec(config, "
+            "StreamingEncoder is deprecated; use repro.Codec(config=config, "
             "chunk_size=...).compress_stream(...)",
             DeprecationWarning,
             stacklevel=2,

@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.checkpoint import CheckpointChain
+from repro.core.errors import StateError
 from repro.core.config import NumarckConfig
 from repro.core.metrics import CompressionStats
 
@@ -71,7 +72,7 @@ class VariableSet:
 
     def chain(self, variable: str) -> CheckpointChain:
         if self._chains is None:
-            raise RuntimeError("no checkpoints recorded yet")
+            raise StateError("no checkpoints recorded yet")
         return self._chains[variable]
 
     def reconstruct(self, iteration: int | None = None
@@ -80,7 +81,7 @@ class VariableSet:
         iteration, so salvaged sets never mix iterations across
         variables)."""
         if self._chains is None:
-            raise RuntimeError("no checkpoints recorded yet")
+            raise StateError("no checkpoints recorded yet")
         if iteration is None:
             iteration = self.n_checkpoints - 1
         return {v: c.reconstruct(iteration) for v, c in self._chains.items()}
@@ -92,7 +93,7 @@ class VariableSet:
         from repro.io.multichain import save_chains
 
         if self._chains is None:
-            raise RuntimeError("no checkpoints recorded yet")
+            raise StateError("no checkpoints recorded yet")
         return save_chains(path, self._chains)
 
     @classmethod

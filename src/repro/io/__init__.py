@@ -31,13 +31,20 @@ repairs a damaged file in place.
 
 from repro.io.container import (
     CheckpointFile,
+    chain_from_bytes,
+    chain_to_bytes,
     load_chain,
     salvage_truncate,
     save_chain,
 )
 from repro.io.durable import atomic_write, fsync_dir, retry_io
 from repro.io.multichain import MultiChainWriter, load_chains, save_chains
-from repro.io.streamed import load_streamed, save_streamed
+from repro.io.streamed import (
+    load_streamed,
+    save_streamed,
+    streamed_from_bytes,
+    streamed_to_bytes,
+)
 from repro.io.format import (
     FORMAT_VERSION,
     MAGIC,
@@ -56,6 +63,10 @@ __all__ = [
     "MultiChainWriter",
     "save_streamed",
     "load_streamed",
+    "chain_to_bytes",
+    "chain_from_bytes",
+    "streamed_to_bytes",
+    "streamed_from_bytes",
     "salvage_truncate",
     "atomic_write",
     "retry_io",

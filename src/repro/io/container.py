@@ -28,6 +28,7 @@ Durability model
 
 from __future__ import annotations
 
+import io
 import os
 import struct
 import zlib
@@ -55,7 +56,7 @@ from repro.io.format import (
 from repro.telemetry.tracer import get_telemetry
 
 __all__ = ["CheckpointFile", "save_chain", "load_chain", "salvage_truncate",
-           "WriteHook"]
+           "chain_to_bytes", "chain_from_bytes", "WriteHook"]
 
 TAG_FULL = b"FULL"
 TAG_DELTA = b"DELT"
@@ -93,10 +94,18 @@ def _check_header(fh: BinaryIO, path: str | Path) -> None:
         raise FormatError(f"{path}: unsupported format version {version}")
 
 
+def _stream_size(fh: BinaryIO) -> int:
+    """Total byte size of a seekable stream (files and ``BytesIO`` alike)."""
+    pos = fh.tell()
+    size = fh.seek(0, os.SEEK_END)
+    fh.seek(pos)
+    return size
+
+
 def _iter_frames(fh: BinaryIO) -> Iterator[tuple[bytes, bytes]]:
     """Yield ``(tag, payload)`` per CRC-valid record; raise
     :class:`_ScanFailure` at the first record that does not parse."""
-    file_size = os.fstat(fh.fileno()).st_size
+    file_size = _stream_size(fh)
     while True:
         offset = fh.tell()
         head = fh.read(12)
@@ -422,6 +431,44 @@ class CheckpointFile:
         if full is None:
             raise FormatError("checkpoint file has no FULL record")
         return full, deltas
+
+
+def chain_to_bytes(chain: CheckpointChain) -> bytes:
+    """Serialise a chain to container bytes (same layout as
+    :func:`save_chain` writes to disk, byte for byte).
+
+    The in-memory twin of :func:`save_chain`, used by the compression
+    service to stream a chain down an HTTP response without touching the
+    filesystem.
+    """
+    buf = io.BytesIO()
+    with get_telemetry().span("io.chain_to_bytes",
+                              records=1 + len(chain.deltas)) as sp:
+        f = CheckpointFile.from_handle(buf)
+        f.write_full(chain.full_checkpoint)
+        for enc in chain.deltas:
+            f.write_delta(enc)
+        data = buf.getvalue()
+        sp.set(bytes_out=len(data))
+    return data
+
+
+def chain_from_bytes(data: bytes,
+                     config: NumarckConfig | None = None) -> CheckpointChain:
+    """Rebuild a :class:`CheckpointChain` from container bytes.
+
+    The in-memory twin of :func:`load_chain` (strict mode: any damage
+    raises :class:`~repro.errors.FormatError` -- bytes received over a
+    checksummed transport have no torn-tail story to salvage).
+    """
+    buf = io.BytesIO(data)
+    with get_telemetry().span("io.chain_from_bytes",
+                              bytes_in=len(data)) as sp:
+        _check_header(buf, "<bytes>")
+        f = CheckpointFile(buf, "r", owns_handle=False)
+        full, deltas = f.read_chain()
+        sp.set(records=1 + len(deltas))
+    return _rebuild_chain(full, deltas, config)
 
 
 def salvage_truncate(path: str | Path) -> SalvageReport:

@@ -16,6 +16,7 @@ replayed reference stream used at encode time.
 
 from __future__ import annotations
 
+import io
 import struct
 from pathlib import Path
 
@@ -24,11 +25,12 @@ import numpy as np
 from repro.bitpack import pack_bits, packed_nbytes, unpack_bits
 from repro.core.errors import FormatError
 from repro.core.streaming import ChunkRecord, StreamedIteration
-from repro.io.container import CheckpointFile
+from repro.io.container import CheckpointFile, _check_header
 from repro.io.durable import atomic_write, retry_io
 from repro.telemetry.tracer import get_telemetry
 
-__all__ = ["save_streamed", "load_streamed"]
+__all__ = ["save_streamed", "load_streamed", "streamed_to_bytes",
+           "streamed_from_bytes"]
 
 TAG_STREAM_HEADER = b"SHDR"
 TAG_CHUNK = b"CHNK"
@@ -142,25 +144,63 @@ def save_streamed(path: str | Path, streamed: StreamedIteration, *,
     return nbytes
 
 
-def load_streamed(path: str | Path) -> StreamedIteration:
-    """Read a streamed iteration back (chunks stay separate)."""
+def streamed_to_bytes(streamed: StreamedIteration) -> bytes:
+    """Serialise a streamed iteration to container bytes (same layout as
+    :func:`save_streamed`, byte for byte).  In-memory twin used by the
+    compression service's stream endpoints."""
+    buf = io.BytesIO()
+    with get_telemetry().span("io.streamed_to_bytes",
+                              n_chunks=len(streamed.chunks)) as sp:
+        f = CheckpointFile.from_handle(buf)
+        f.write_record(TAG_STREAM_HEADER, _header_payload(streamed))
+        for chunk in streamed.chunks:
+            f.write_record(TAG_CHUNK, _chunk_payload(chunk, streamed.nbits))
+        data = buf.getvalue()
+        sp.set(bytes_out=len(data))
+    return data
+
+
+def streamed_from_bytes(data: bytes) -> StreamedIteration:
+    """Rebuild a :class:`~repro.core.streaming.StreamedIteration` from
+    container bytes (strict; the in-memory twin of :func:`load_streamed`)."""
+    buf = io.BytesIO(data)
+    with get_telemetry().span("io.streamed_from_bytes",
+                              bytes_in=len(data)) as sp:
+        _check_header(buf, "<bytes>")
+        f = CheckpointFile(buf, "r", owns_handle=False)
+        header, chunks = _read_stream_records(f)
+        sp.set(n_chunks=len(chunks))
+    return _assemble_stream(header, chunks)
+
+
+def _read_stream_records(f: CheckpointFile):
     header = None
     chunks: list[ChunkRecord] = []
+    for tag, payload in f.records():
+        if tag == TAG_STREAM_HEADER:
+            if header is not None:
+                raise FormatError("multiple stream headers")
+            header = _parse_header(payload)
+        elif tag == TAG_CHUNK:
+            if header is None:
+                raise FormatError("chunk before stream header")
+            chunks.append(_parse_chunk(payload, header[1]))
+        else:
+            raise FormatError(f"unexpected record tag {tag!r}")
+    return header, chunks
+
+
+def load_streamed(path: str | Path) -> StreamedIteration:
+    """Read a streamed iteration back (chunks stay separate)."""
     with get_telemetry().span("io.load_streamed",
                               bytes_in=Path(path).stat().st_size) as sp, \
             CheckpointFile.open(path) as f:
-        for tag, payload in f.records():
-            if tag == TAG_STREAM_HEADER:
-                if header is not None:
-                    raise FormatError("multiple stream headers")
-                header = _parse_header(payload)
-            elif tag == TAG_CHUNK:
-                if header is None:
-                    raise FormatError("chunk before stream header")
-                chunks.append(_parse_chunk(payload, header[1]))
-            else:
-                raise FormatError(f"unexpected record tag {tag!r}")
+        header, chunks = _read_stream_records(f)
         sp.set(n_chunks=len(chunks))
+    return _assemble_stream(header, chunks)
+
+
+def _assemble_stream(header, chunks: list[ChunkRecord]) -> StreamedIteration:
     if header is None:
         raise FormatError("no stream header record")
     n_points, nbits, zero_reserved, strategy, error_bound, reps = header

@@ -45,29 +45,16 @@ import os
 import time
 from dataclasses import dataclass
 
+# Canonical definition lives in the unified hierarchy (repro.errors); the
+# historical import path is kept as an alias.
+from repro.errors import RankFailureError
+
 __all__ = ["RankFailureError", "CommEvent", "RankFaultInjector", "DROP"]
 
 #: Sentinel returned by a comm hook to drop the outgoing message.
 DROP = object()
 
 _FAULT_KINDS = ("crash", "hang", "drop", "flip", "error")
-
-
-class RankFailureError(RuntimeError):
-    """A peer rank was lost (died, hung past the deadline, or its channel
-    is irrecoverably corrupt).
-
-    Raised on every survivor instead of deadlocking.  ``rank`` is the
-    lost peer, ``phase`` the pipeline phase the detecting rank was in
-    (empty when none was declared), ``reason`` the detection evidence.
-    """
-
-    def __init__(self, rank: int, reason: str, phase: str = "") -> None:
-        self.rank = rank
-        self.reason = reason
-        self.phase = phase
-        where = f" during {phase}" if phase else ""
-        super().__init__(f"rank {rank} lost{where}: {reason}")
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.checkpoint import CheckpointChain
+from repro.core.errors import StateError
 from repro.core.config import NumarckConfig
 from repro.core.varset import VariableSet
 from repro.io.container import CheckpointFile, WriteHook
@@ -84,7 +85,7 @@ class RestartManager(VariableSet):
         which the salvage path (``recover="tail"``) recovers from.
         """
         if self._chains is None:
-            raise RuntimeError("no checkpoints recorded yet")
+            raise StateError("no checkpoints recorded yet")
         appended = 0
         with get_telemetry().span("restart.persist_incremental",
                                   n_variables=len(self.variables)) as sp:

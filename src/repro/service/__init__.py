@@ -1,0 +1,51 @@
+"""Compression-as-a-service: an async job API over the Codec.
+
+The service turns the library's compression pipeline into a long-running
+process other programs talk to::
+
+    from repro.service import ServiceConfig, ServiceServer, ServiceClient
+
+    with ServiceServer(ServiceConfig(workers=4)) as srv:
+        client = ServiceClient(port=srv.port)
+        client.compress("run-42", state_0)          # full checkpoint
+        client.compress("run-42", state_1)          # delta (model reuse)
+        blob = client.download_chain("run-42")      # container bytes
+        states = client.decompress(blob)            # decoded states
+
+Layering (each importable on its own):
+
+* :mod:`repro.service.jobs` -- bounded queue + worker pool; telemetry-fed
+  per-job progress; backpressure via :class:`~repro.errors.QueueFullError`.
+* :mod:`repro.service.chains` -- per-tenant chains with adaptive
+  bin-model reuse across jobs and crash-consistent persistence.
+* :mod:`repro.service.app` -- transport-agnostic core
+  (:class:`CompressionService`), usable in-process without HTTP.
+* :mod:`repro.service.http` / :mod:`repro.service.client` -- the
+  stdlib-only HTTP surface and its blocking Python client.
+* :mod:`repro.service.wire` -- array framing for request/response bodies.
+
+Everything is stdlib + numpy; errors cross the HTTP boundary as
+:mod:`repro.errors` classes mapped through
+:func:`repro.errors.http_status` and rehydrated client-side.
+"""
+
+from repro.service.app import CompressionService, ServiceConfig
+from repro.service.chains import Chain, ChainRegistry
+from repro.service.client import ServiceClient
+from repro.service.http import ServiceServer, serve
+from repro.service.jobs import Job, JobQueue
+from repro.service.wire import pack_arrays, unpack_arrays
+
+__all__ = [
+    "CompressionService",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceClient",
+    "serve",
+    "Job",
+    "JobQueue",
+    "Chain",
+    "ChainRegistry",
+    "pack_arrays",
+    "unpack_arrays",
+]

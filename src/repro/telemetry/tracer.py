@@ -292,6 +292,13 @@ class Telemetry:
             if self._sink is not None:
                 self._sink.write(span.to_dict())
 
+    @property
+    def sink(self):
+        """The streaming sink (or ``None``).  Exposed so wrappers -- e.g.
+        the service's per-job span router -- can tee into an existing
+        sink without owning its lifecycle."""
+        return self._sink
+
     # -- export ------------------------------------------------------------
 
     def records(self) -> list[dict[str, Any]]:

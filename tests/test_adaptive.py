@@ -160,7 +160,7 @@ class TestChainIntegration:
         from repro.io import load_chain, save_chain
 
         states = _stationary_states(6)
-        chain = Codec(NumarckConfig(adaptive=True, **CFG)).compress_chain(
+        chain = Codec(config=NumarckConfig(adaptive=True, **CFG)).compress_chain(
             states)
         flags = [d.model_reused for d in chain.deltas]
         assert flags[0] is False and all(flags[1:])
@@ -178,9 +178,9 @@ class TestChainIntegration:
         from repro.io import save_chain
 
         states = _stationary_states(6)
-        adaptive = Codec(NumarckConfig(adaptive=True, **CFG)).compress_chain(
+        adaptive = Codec(config=NumarckConfig(adaptive=True, **CFG)).compress_chain(
             states)
-        plain = Codec(NumarckConfig(**CFG)).compress_chain(states)
+        plain = Codec(config=NumarckConfig(**CFG)).compress_chain(states)
         a = save_chain(tmp_path / "a.nmk", adaptive)
         b = save_chain(tmp_path / "b.nmk", plain)
         # 5 reuse-hit deltas elide their 255-entry float64 table
@@ -191,7 +191,7 @@ class TestChainIntegration:
 
         states = _stationary_states(8)
         cfg = NumarckConfig(adaptive=True, **CFG)
-        chain = Codec(cfg).compress_chain(states[:5])
+        chain = Codec(config=cfg).compress_chain(states[:5])
         path = tmp_path / "chain.nmk"
         save_chain(path, chain)
 
@@ -210,7 +210,7 @@ class TestChainIntegration:
     def test_truncate_resets_cache(self):
         states = _stationary_states(4)
         cfg = NumarckConfig(adaptive=True, **CFG)
-        chain = Codec(cfg).compress_chain(states)
+        chain = Codec(config=cfg).compress_chain(states)
         chain.truncate(1)
         chain.append(states[1])
         assert chain.deltas[-1].model_reused is False  # cold refit

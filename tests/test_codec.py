@@ -40,7 +40,7 @@ def _assert_same_encoding(a, b):
 class TestCodecFacade:
     def test_compress_chain(self, pair):
         prev, curr = pair
-        chain = Codec(NumarckConfig(error_bound=1e-3)).compress_chain(
+        chain = Codec(config=NumarckConfig(error_bound=1e-3)).compress_chain(
             [prev, curr])
         assert len(chain) == 2
         np.testing.assert_allclose(chain.reconstruct(1), curr,
@@ -51,7 +51,7 @@ class TestCodecFacade:
             Codec().compress_chain([])
 
     def test_reuse_stats_none_without_adaptive(self, pair):
-        codec = Codec(NumarckConfig())
+        codec = Codec(config=NumarckConfig())
         codec.compress(*pair)
         assert codec.reuse_stats is None
         codec.reset()  # no-op without adaptive state
@@ -59,10 +59,10 @@ class TestCodecFacade:
     def test_stream_matches_one_shot_arrays(self, pair):
         prev, curr = pair
         cfg = NumarckConfig(error_bound=1e-3)
-        streamed = Codec(cfg, chunk_size=512).compress_stream_arrays(
+        streamed = Codec(config=cfg, chunk_size=512).compress_stream_arrays(
             prev, curr)
         assert streamed.n_points == prev.size
-        out = np.concatenate(list(Codec(cfg).decompress_stream(
+        out = np.concatenate(list(Codec(config=cfg).decompress_stream(
             iter(np.array_split(prev, len(streamed.chunks))), streamed)))
         assert np.max(np.abs(out / prev - curr / prev)) < 1e-3 + 1e-12
 
@@ -84,7 +84,7 @@ class TestNumarckCompressorShim:
         assert len(_deprecations(caught)) == 0  # only __init__ warns
 
         _assert_same_encoding(
-            enc, Codec(NumarckConfig(error_bound=1e-3)).compress(prev, curr))
+            enc, Codec(config=NumarckConfig(error_bound=1e-3)).compress(prev, curr))
 
     def test_is_a_codec(self):
         from repro.core import NumarckCompressor
@@ -121,7 +121,7 @@ class TestStreamingEncoderShim:
         assert len(_deprecations(caught)) == 1
 
         old = enc.encode_arrays(prev, curr)
-        new = Codec(cfg, chunk_size=512).compress_stream_arrays(prev, curr)
+        new = Codec(config=cfg, chunk_size=512).compress_stream_arrays(prev, curr)
         assert old.n_points == new.n_points
         np.testing.assert_array_equal(old.representatives,
                                       new.representatives)

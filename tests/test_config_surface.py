@@ -1,0 +1,95 @@
+"""The keyword-only config/Codec surface and its dict round trip."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Codec, NumarckConfig
+from repro.errors import ConfigError
+
+shims = pytest.mark.shims
+
+
+class TestDictRoundTrip:
+    def test_to_dict_from_dict(self):
+        cfg = NumarckConfig(error_bound=5e-4, nbits=10,
+                            strategy="log_scale", adaptive=True)
+        data = cfg.to_dict()
+        assert data["error_bound"] == 5e-4
+        assert NumarckConfig.from_dict(data) == cfg
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        round_tripped = json.loads(json.dumps(NumarckConfig().to_dict()))
+        assert NumarckConfig.from_dict(round_tripped) == NumarckConfig()
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = NumarckConfig.from_dict({"nbits": 6})
+        assert cfg.nbits == 6
+        assert cfg.error_bound == NumarckConfig().error_bound
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="no_such_field"):
+            NumarckConfig.from_dict({"no_such_field": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            NumarckConfig.from_dict([("nbits", 8)])
+
+    def test_values_still_validated(self):
+        with pytest.raises(ConfigError):
+            NumarckConfig.from_dict({"error_bound": 2.0})
+
+
+class TestKeywordOnly:
+    def test_keyword_construction_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            NumarckConfig(error_bound=1e-3, nbits=8)
+            Codec(config=NumarckConfig())
+            Codec()
+
+    @shims
+    def test_positional_config_warns(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            cfg = NumarckConfig(1e-3, 8)
+        assert cfg.error_bound == 1e-3 and cfg.nbits == 8
+
+    @shims
+    def test_positional_codec_warns(self):
+        cfg = NumarckConfig(error_bound=1e-3)
+        with pytest.warns(DeprecationWarning, match="Codec"):
+            codec = Codec(cfg)
+        assert codec.config is cfg
+
+    @shims
+    def test_positional_codec_still_works(self):
+        rng = np.random.default_rng(0)
+        prev = rng.uniform(1, 2, 500)
+        curr = prev * (1 + rng.normal(0, 1e-3, 500))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            codec = Codec(NumarckConfig(error_bound=1e-3))
+        out = codec.decompress(prev, codec.compress(prev, curr))
+        assert np.all(np.abs(out / prev - curr / prev) < 1e-3 + 1e-12)
+
+    @shims
+    def test_positional_and_keyword_conflict(self):
+        with pytest.raises(TypeError), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            NumarckConfig(1e-3, error_bound=1e-3)
+        with pytest.raises(TypeError):
+            Codec(NumarckConfig(), config=NumarckConfig())
+
+    @shims
+    def test_too_many_positionals(self):
+        with pytest.raises(TypeError):
+            Codec(NumarckConfig(), NumarckConfig())
+
+    def test_replace_does_not_warn(self):
+        cfg = NumarckConfig(error_bound=1e-3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cfg.with_(nbits=4).nbits == 4

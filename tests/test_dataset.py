@@ -93,7 +93,7 @@ class TestIntegration:
         path = tmp_path / "rlus.npz"
         save_trajectory(path, sim.run(4))
 
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         reader = TrajectoryReader(path)
         for prev, curr in reader.pairs("rlus"):
             _, _, stats = comp.roundtrip(prev, curr)
@@ -108,7 +108,7 @@ class TestIntegration:
         path = tmp_path / "t.npz"
         save_trajectory(path, [{"v": prev}, {"v": curr}])
         reader = TrajectoryReader(path)
-        enc = Codec(NumarckConfig(error_bound=1e-3), chunk_size=512)
+        enc = Codec(config=NumarckConfig(error_bound=1e-3), chunk_size=512)
         streamed = enc.compress_stream(reader.chunk_stream("v", 0, 512),
                               reader.chunk_stream("v", 1, 512))
         out = np.concatenate(list(decode_stream(

@@ -83,7 +83,7 @@ class TestDataMovement:
         grid = BlockGrid3D(16, 16, 32, block=16, guard=4)
         prev = rng.uniform(1, 2, (16, 16, 32))
         curr = prev * (1 + rng.normal(0, 0.002, (16, 16, 32)))
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         grid.scatter(prev)
         prev_blocks = [grid.interior(b).copy() for b in range(grid.n_blocks)]
         grid.scatter(curr)

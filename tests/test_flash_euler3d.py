@@ -145,7 +145,7 @@ class TestSimulation3D:
         prev = sim.checkpoint()["pres"]
         sim.advance()
         curr = sim.checkpoint()["pres"]
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         out, enc, stats = comp.roundtrip(prev, curr)
         assert enc.shape == (16, 16, 16)
         assert stats.max_error < 1e-3

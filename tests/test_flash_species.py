@@ -96,6 +96,6 @@ class TestSpecies:
         for _ in range(3):
             solver.step()
         curr = solver.species_fractions()[0].copy()
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         _, enc, stats = comp.roundtrip(prev, curr)
         assert stats.max_error < 1e-3

@@ -80,7 +80,7 @@ class TestFloat32:
 
     def test_compressor_facade(self, f32_pair):
         prev, curr = f32_pair
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         out, enc, stats = comp.roundtrip(prev, curr)
         assert enc.value_bits == 32
         assert stats.max_error < 1e-3

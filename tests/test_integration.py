@@ -18,7 +18,7 @@ from repro.simulations.flash import FlashSimulation
 class TestFlashEndToEnd:
     def test_compress_all_ten_variables_within_bound(self, flash_checkpoints):
         cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-        comp = Codec(cfg)
+        comp = Codec(config=cfg)
         prev_cp, curr_cp = flash_checkpoints[3], flash_checkpoints[4]
         for var, prev in prev_cp.items():
             curr = curr_cp[var]
@@ -51,7 +51,7 @@ class TestFlashEndToEnd:
         gammas = {}
         for strat in ("equal_width", "log_scale", "clustering"):
             cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy=strat)
-            enc = Codec(cfg).compress(prev, curr)
+            enc = Codec(config=cfg).compress(prev, curr)
             gammas[strat] = enc.incompressible_ratio
         assert gammas["clustering"] <= gammas["equal_width"] + 1e-9
         assert gammas["clustering"] <= gammas["log_scale"] + 1e-9
@@ -65,7 +65,7 @@ class TestCmipEndToEnd:
         ((2^B - 1) * 64 bits) is only negligible for realistic point counts.
         """
         cfg = NumarckConfig(error_bound=5e-3, nbits=9, strategy="clustering")
-        comp = Codec(cfg)
+        comp = Codec(config=cfg)
         sim = CmipSimulation("rlus", seed=11)  # paper grid 90 x 144
         prev = sim.checkpoint()["rlus"]
         sim.advance()
@@ -77,7 +77,7 @@ class TestCmipEndToEnd:
     def test_abs550aer_harder_than_rlus(self):
         """Paper Figs 4/7: the aerosol variable is the most incompressible."""
         cfg = NumarckConfig(error_bound=1e-3, nbits=8, strategy="clustering")
-        comp = Codec(cfg)
+        comp = Codec(config=cfg)
 
         def gamma(var):
             sim = CmipSimulation(var, nlat=24, nlon=36, seed=8)
@@ -93,7 +93,7 @@ class TestCmipEndToEnd:
         a = sim.checkpoint()["mrro"]
         sim.advance()
         b = sim.checkpoint()["mrro"]
-        enc = Codec(NumarckConfig()).compress(a, b)
+        enc = Codec(config=NumarckConfig()).compress(a, b)
         zero_frac = np.mean(a == 0)
         assert enc.incompressible_ratio >= zero_frac * 0.99
 
@@ -104,7 +104,7 @@ class TestCmipEndToEnd:
         for b in (6, 8, 10):
             cfg = NumarckConfig(error_bound=1e-3, nbits=b, strategy="equal_width")
             gammas.append(
-                Codec(cfg).compress(prev, curr).incompressible_ratio
+                Codec(config=cfg).compress(prev, curr).incompressible_ratio
             )
         assert gammas[0] >= gammas[1] >= gammas[2]
 
@@ -118,7 +118,7 @@ class TestCmipEndToEnd:
         for e in (1e-3, 3e-3, 5e-3):
             cfg = NumarckConfig(error_bound=e, nbits=8, strategy="clustering")
             gammas.append(
-                Codec(cfg).compress(a, b).incompressible_ratio
+                Codec(config=cfg).compress(a, b).incompressible_ratio
             )
         assert gammas[0] >= gammas[1] >= gammas[2]
 
@@ -133,7 +133,7 @@ class TestCrossSystem:
 
         prev, curr = cmip_rlus_checkpoints[2], cmip_rlus_checkpoints[3]
         cfg = NumarckConfig(error_bound=5e-3, nbits=9, strategy="clustering")
-        out, _, stats = Codec(cfg).roundtrip(prev, curr)
+        out, _, stats = Codec(config=cfg).roundtrip(prev, curr)
 
         bs = BSplineCompressor(0.8)
         bs_out = bs.decompress(bs.compress(curr)).reshape(curr.shape)

@@ -251,7 +251,7 @@ def streamed_blob(tmp_path_factory):
 
     from repro import Codec
 
-    encoder = Codec(NumarckConfig(error_bound=1e-3),
+    encoder = Codec(config=NumarckConfig(error_bound=1e-3),
                                chunk_size=256)
     streamed = encoder.compress_stream(chunks(prev), chunks(curr))
     path = tmp_path_factory.mktemp("fuzz_stream") / "iter.nms"

@@ -9,13 +9,18 @@ from repro.core import (
     NumarckConfig,
     decode_stream,
 )
-from repro.io import load_streamed, save_streamed
+from repro.io import (
+    load_streamed,
+    save_streamed,
+    streamed_from_bytes,
+    streamed_to_bytes,
+)
 
 
 @pytest.fixture
 def streamed(smooth_pair):
     prev, curr = smooth_pair
-    enc = Codec(NumarckConfig(error_bound=1e-3), chunk_size=1000)
+    enc = Codec(config=NumarckConfig(error_bound=1e-3), chunk_size=1000)
     return prev, curr, enc.compress_stream_arrays(prev, curr)
 
 
@@ -51,6 +56,26 @@ class TestRoundtrip:
         rel[np.concatenate([c.incompressible for c in loaded.chunks])] = 0
         assert rel.max() < 1.2e-3
 
+    def test_bytes_identical_to_file(self, tmp_path, streamed):
+        _, _, s = streamed
+        path = tmp_path / "s.nms"
+        save_streamed(path, s)
+        assert streamed_to_bytes(s) == path.read_bytes()
+
+    def test_bytes_roundtrip(self, streamed):
+        _, _, s = streamed
+        loaded = streamed_from_bytes(streamed_to_bytes(s))
+        assert loaded.n_points == s.n_points
+        assert len(loaded.chunks) == len(s.chunks)
+        np.testing.assert_array_equal(loaded.representatives,
+                                      s.representatives)
+
+    def test_bytes_truncation_detected(self, streamed):
+        _, _, s = streamed
+        data = streamed_to_bytes(s)
+        with pytest.raises(FormatError):
+            streamed_from_bytes(data[: len(data) - 5])
+
     def test_compressed_smaller_than_raw(self, tmp_path, streamed):
         prev, curr, s = streamed
         nbytes = save_streamed(tmp_path / "s.nms", s)
@@ -58,7 +83,7 @@ class TestRoundtrip:
 
     def test_empty_like_stream(self, tmp_path, rng):
         prev = rng.uniform(1, 2, 100)
-        s = Codec(NumarckConfig(),
+        s = Codec(config=NumarckConfig(),
                   chunk_size=50).compress_stream_arrays(prev, prev)
         path = tmp_path / "e.nms"
         save_streamed(path, s)

@@ -14,7 +14,7 @@ class TestCompressor:
 
     def test_compress_decompress_roundtrip(self, smooth_pair):
         prev, curr = smooth_pair
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         enc = comp.compress(prev, curr)
         out = comp.decompress(prev, enc)
         rel = np.abs(out / curr - 1)
@@ -22,7 +22,7 @@ class TestCompressor:
 
     def test_stats_with_and_without_encoded(self, smooth_pair):
         prev, curr = smooth_pair
-        comp = Codec(NumarckConfig())
+        comp = Codec(config=NumarckConfig())
         enc = comp.compress(prev, curr)
         s1 = comp.stats(prev, curr, enc)
         s2 = comp.stats(prev, curr)
@@ -31,7 +31,7 @@ class TestCompressor:
 
     def test_roundtrip_helper(self, smooth_pair):
         prev, curr = smooth_pair
-        comp = Codec(NumarckConfig(error_bound=1e-3))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3))
         out, enc, stats = comp.roundtrip(prev, curr)
         assert out.shape == curr.shape
         assert stats.n_points == curr.size
@@ -40,6 +40,6 @@ class TestCompressor:
     def test_compression_is_order_of_magnitude(self, smooth_pair):
         """The paper's headline: ~10x reduction within bounds."""
         prev, curr = smooth_pair
-        comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8))
         _, _, stats = comp.roundtrip(prev, curr)
         assert stats.ratio_paper > 80.0  # > 5x; 8-bit indices give ~87 % max

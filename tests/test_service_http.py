@@ -1,0 +1,317 @@
+"""Live-server tests for the compression service HTTP surface.
+
+Every test boots a real ``ServiceServer`` on an ephemeral port and talks
+to it with ``ServiceClient`` over actual sockets -- concurrency, chunked
+transfer and error mapping are exercised end to end.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Codec, NumarckConfig
+from repro.errors import (
+    ChainNotFoundError,
+    ConfigError,
+    FormatError,
+    JobCancelledError,
+    JobNotFoundError,
+    NumarckError,
+    QueueFullError,
+    StateError,
+)
+from repro.io import chain_to_bytes, load_chain
+from repro.service import ServiceClient, ServiceConfig, ServiceServer
+
+CFG = {"error_bound": 1e-3, "nbits": 8, "strategy": "equal_width"}
+
+
+def make_states(seed, n=2000, iterations=3):
+    rng = np.random.default_rng(seed)
+    states = [rng.uniform(1.0, 2.0, n)]
+    for _ in range(iterations):
+        states.append(states[-1] * (1.0 + rng.normal(0.0, 2e-3, n)))
+    return states
+
+
+@pytest.fixture
+def server():
+    with ServiceServer(ServiceConfig(workers=3, capacity=16)) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+class TestRoundTrip:
+    def test_compress_download_decompress(self, client):
+        states = make_states(0)
+        for i, state in enumerate(states):
+            status = client.compress("run-a", state, CFG if i == 0 else None)
+            assert status["state"] == "done"
+            assert status["progress"]["spans"] > 0
+        blob = client.download_chain("run-a")
+        decoded = client.decompress(blob, CFG)
+        assert len(decoded) == len(states)
+        np.testing.assert_array_equal(decoded[0], states[0])
+        codec = Codec(config=NumarckConfig.from_dict(CFG))
+        for got, want in zip(decoded, codec.compress_chain(states).iter_states()):
+            np.testing.assert_array_equal(got, want)
+
+    def test_container_byte_identical_to_direct_codec(self, client):
+        states = make_states(1)
+        for i, state in enumerate(states):
+            client.compress("run-b", state, CFG if i == 0 else None)
+        blob = client.download_chain("run-b")
+        direct = chain_to_bytes(
+            Codec(config=NumarckConfig.from_dict(CFG)).compress_chain(states))
+        assert blob == direct
+
+    def test_eight_concurrent_clients(self, server):
+        """The headline acceptance: 8 clients, each its own chain, full
+        round trips, every container byte-identical to a direct Codec."""
+        n_clients = 8
+        states_per_client = [make_states(100 + i, n=1500, iterations=3)
+                             for i in range(n_clients)]
+        results: dict[int, bytes] = {}
+        errors: list[BaseException] = []
+
+        def worker(idx):
+            try:
+                cl = ServiceClient(port=server.port)
+                chain_id = f"tenant-{idx}"
+                for j, state in enumerate(states_per_client[idx]):
+                    cl.compress(chain_id, state,
+                                CFG if j == 0 else None,
+                                retries=50)
+                blob = cl.download_chain(chain_id)
+                decoded = cl.decompress(blob, CFG)
+                for got, want in zip(
+                        decoded,
+                        Codec(config=NumarckConfig.from_dict(CFG))
+                        .compress_chain(states_per_client[idx]).iter_states()):
+                    np.testing.assert_array_equal(got, want)
+                results[idx] = blob
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == n_clients
+        for idx, blob in results.items():
+            direct = chain_to_bytes(
+                Codec(config=NumarckConfig.from_dict(CFG))
+                .compress_chain(states_per_client[idx]))
+            assert blob == direct, f"client {idx} container diverged"
+
+    def test_adaptive_model_reuse_across_jobs(self, client):
+        cfg = dict(CFG, strategy="clustering", adaptive=True)
+        states = make_states(2, iterations=4)
+        for i, state in enumerate(states):
+            status = client.compress("adapt", state, cfg if i == 0 else None)
+            assert status["state"] == "done"
+        stats = client.chain_stats("adapt")
+        assert stats["iterations"] == len(states)
+        reuse = stats["model_reuse"]
+        assert reuse["encodes"] == len(states) - 1
+        assert reuse["reuse_hits"] >= 1  # the hint carried across jobs
+
+
+class TestBackpressure:
+    def test_429_then_drain(self, server, client):
+        q = server.service.queue
+        q.pause()
+        states = make_states(3, n=500, iterations=0)
+        accepted = []
+        for i in range(16):
+            accepted.append(client.submit_compress(f"bp-{i}", states[0], CFG))
+        with pytest.raises(QueueFullError) as exc_info:
+            client.submit_compress("bp-overflow", states[0], CFG)
+        assert exc_info.value.retry_after > 0
+        assert client.health()["status"] == "degraded"
+        q.resume()
+        # Every accepted job completes: 429 never drops accepted work.
+        for job in accepted:
+            status = client.wait(job["id"], timeout=60)
+            assert status["state"] == "done"
+        assert client.health()["status"] == "ok"
+
+    def test_client_retries_on_429(self, server, client):
+        q = server.service.queue
+        q.pause()
+        state = make_states(4, n=300, iterations=0)[0]
+        for i in range(16):
+            client.submit_compress(f"rt-{i}", state, CFG)
+
+        def unblock():
+            q.resume()
+
+        timer = threading.Timer(0.1, unblock)
+        timer.start()
+        try:
+            status = client.compress("rt-late", state, CFG,
+                                     retries=200, timeout=60)
+            assert status["state"] == "done"
+        finally:
+            timer.cancel()
+            q.resume()
+
+
+class TestJobControl:
+    def test_cancel_queued_job(self, server, client):
+        server.service.queue.pause()
+        state = make_states(5, n=300, iterations=0)[0]
+        job = client.submit_compress("cancel-me", state, CFG)
+        status = client.cancel(job["id"])
+        assert status["state"] == "cancelled"
+        with pytest.raises(JobCancelledError):
+            client.result(job["id"])
+        server.service.queue.resume()
+
+    def test_cancel_finished_is_conflict(self, client):
+        state = make_states(6, n=300, iterations=0)[0]
+        job = client.submit_compress("c2", state, CFG)
+        client.wait(job["id"], timeout=30)
+        with pytest.raises(StateError):
+            client.cancel(job["id"])
+
+    def test_failed_job_error_surfaces(self, client):
+        # A corrupt container fails the *job*; fetching the result
+        # re-raises the mapped error.
+        job = client.submit_decompress(b"not a container at all")
+        status = client.wait(job["id"], timeout=30)
+        assert status["state"] == "failed"
+        assert status["error"]["type"] == "FormatError"
+        with pytest.raises(FormatError):
+            client.result(job["id"])
+
+    def test_job_listing(self, client):
+        state = make_states(7, n=300, iterations=0)[0]
+        job = client.submit_compress("list-me", state, CFG)
+        client.wait(job["id"], timeout=30)
+        assert any(j["id"] == job["id"] for j in client.jobs())
+
+
+class TestErrorMapping:
+    def test_unknown_job_404(self, client):
+        with pytest.raises(JobNotFoundError):
+            client.status("job-12345")
+
+    def test_unknown_chain_404(self, client):
+        with pytest.raises(ChainNotFoundError):
+            client.chain_stats("ghost")
+
+    def test_bad_config_400(self, client):
+        state = make_states(8, n=300, iterations=0)[0]
+        with pytest.raises(ConfigError):
+            client.submit_compress("bad-cfg", state,
+                                   {"error_bound": 5.0})
+        with pytest.raises(ConfigError):
+            client.submit_compress("bad-key", state,
+                                   {"no_such_knob": 1})
+
+    def test_bad_chain_id_400(self, client):
+        state = make_states(9, n=300, iterations=0)[0]
+        with pytest.raises(ConfigError):
+            client.submit_compress(".hidden", state, CFG)
+        # A traversal-style id never reaches the registry at all: the
+        # extra path segment falls off the route table.
+        with pytest.raises(NumarckError):
+            client.submit_compress("../escape", state, CFG)
+
+    def test_bad_wire_body_422(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request("POST", "/v1/chains/wire-bad/compress",
+                         body=b"garbage bytes")
+            resp = conn.getresponse()
+            assert resp.status == 422
+        finally:
+            conn.close()
+
+    def test_duplicate_chain_409(self, client):
+        client.create_chain("dup", CFG)
+        with pytest.raises(StateError):
+            client.create_chain("dup", CFG)
+
+    def test_conflicting_chain_config_409(self, client):
+        state = make_states(10, n=300, iterations=0)[0]
+        client.compress("cfg-pin", state, CFG)
+        with pytest.raises(StateError):
+            client.submit_compress("cfg-pin", state,
+                                   dict(CFG, nbits=10))
+
+    def test_empty_chain_download_409(self, client):
+        client.create_chain("empty", CFG)
+        with pytest.raises(StateError):
+            client.download_chain("empty")
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(NumarckError):
+            client._json("GET", "/v1/nope")
+
+
+class TestPersistence:
+    def test_chains_survive_restart(self, tmp_path):
+        states = make_states(11)
+        store = tmp_path / "chains"
+        cfg = ServiceConfig(workers=2, capacity=8, store_dir=str(store),
+                            codec=NumarckConfig.from_dict(CFG))
+        with ServiceServer(cfg) as srv:
+            cl = ServiceClient(port=srv.port)
+            for state in states:
+                cl.compress("persisted", state)
+            blob = cl.download_chain("persisted")
+
+        # The on-disk container is readable on its own ...
+        chain = load_chain(store / "persisted.nmk")
+        assert len(chain) == len(states)
+
+        # ... and a fresh server recovers it.
+        with ServiceServer(cfg) as srv2:
+            cl2 = ServiceClient(port=srv2.port)
+            stats = cl2.chain_stats("persisted")
+            assert stats["iterations"] == len(states)
+            decoded = cl2.decompress(cl2.download_chain("persisted"))
+            np.testing.assert_array_equal(decoded[0], states[0])
+
+    def test_torn_tail_recovered(self, tmp_path):
+        states = make_states(12)
+        store = tmp_path / "chains"
+        cfg = ServiceConfig(workers=2, capacity=8, store_dir=str(store),
+                            codec=NumarckConfig.from_dict(CFG))
+        with ServiceServer(cfg) as srv:
+            cl = ServiceClient(port=srv.port)
+            for state in states:
+                cl.compress("torn", state)
+        path = store / "torn.nmk"
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # tear mid-record
+        with ServiceServer(cfg) as srv2:
+            cl2 = ServiceClient(port=srv2.port)
+            stats = cl2.chain_stats("torn")
+            assert stats["iterations"] == len(states) - 1
+
+
+class TestHealth:
+    def test_health_shape(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["queue"]["capacity"] == 16
+        assert doc["queue"]["workers"] == 3
+
+    def test_chain_listing(self, client):
+        state = make_states(13, n=300, iterations=0)[0]
+        client.compress("listed", state, CFG)
+        ids = [c["id"] for c in client.chains()]
+        assert "listed" in ids

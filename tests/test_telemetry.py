@@ -242,7 +242,7 @@ class TestAccounting:
         prev = rng.uniform(1.0, 2.0, 4000)
         curr = prev * (1 + rng.normal(0, 0.01, 4000))
         curr[::97] = np.nan  # force some incompressible points
-        comp = Codec(NumarckConfig(error_bound=1e-3, nbits=8))
+        comp = Codec(config=NumarckConfig(error_bound=1e-3, nbits=8))
         return comp.compress(prev, curr)
 
     def test_delta_matches_serialiser(self, encoded):
@@ -251,7 +251,7 @@ class TestAccounting:
     def test_delta_matches_serialiser_float32(self, rng):
         prev = rng.uniform(1.0, 2.0, 1000).astype(np.float32)
         curr = (prev * (1 + rng.normal(0, 0.01, 1000))).astype(np.float32)
-        enc = Codec(NumarckConfig(error_bound=1e-3)).compress(
+        enc = Codec(config=NumarckConfig(error_bound=1e-3)).compress(
             prev, curr)
         assert delta_payload_nbytes(enc) == len(encode_delta_bytes(enc))
 
@@ -277,7 +277,7 @@ class TestIntegration:
         tel = Telemetry()
         with use(tel):
             comp = Codec(
-                NumarckConfig(error_bound=1e-3, nbits=8,
+                config=NumarckConfig(error_bound=1e-3, nbits=8,
                               strategy="clustering"))
             chain = CheckpointChain(prev, comp.config)
             chain.append(curr)
@@ -430,7 +430,7 @@ class TestEnvActivation:
             "rng = np.random.default_rng(0)\n"
             "prev = rng.uniform(1, 2, 5000)\n"
             "curr = prev * (1 + rng.normal(0, 0.01, 5000))\n"
-            "Codec(NumarckConfig(error_bound=1e-3))"
+            "Codec(config=NumarckConfig(error_bound=1e-3))"
             ".compress(prev, curr)\n"
         )
         subprocess.run([sys.executable, "-c", code], check=True, env=env,

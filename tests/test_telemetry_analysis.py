@@ -151,7 +151,7 @@ class TestFoldedStacks:
         curr = prev * (1 + rng.normal(0, 0.002, 5000))
         tel = Telemetry()
         with use(tel):
-            Codec(NumarckConfig(error_bound=1e-3)).compress(
+            Codec(config=NumarckConfig(error_bound=1e-3)).compress(
                 prev, curr)
         lines = folded_stacks([s.to_dict() for s in tel.spans])
         assert any(line.startswith("codec.compress;encode ")
@@ -183,7 +183,7 @@ class TestDiff:
         for strategy in ("equal_width", "clustering"):
             tel = Telemetry()
             with use(tel):
-                Codec(NumarckConfig(
+                Codec(config=NumarckConfig(
                     error_bound=1e-3, strategy=strategy)).compress(prev, curr)
             traces[strategy] = [s.to_dict() for s in tel.spans]
         diffs = diff_traces(traces["equal_width"], traces["clustering"])

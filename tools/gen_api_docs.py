@@ -19,6 +19,8 @@ from pathlib import Path
 
 PACKAGES = [
     "repro",
+    # errors must precede everything that re-exports its classes.
+    "repro.errors",
     "repro.core",
     "repro.core.strategies",
     "repro.kmeans",
@@ -37,6 +39,7 @@ PACKAGES = [
     "repro.telemetry.analysis",
     "repro.telemetry",
     "repro.bench",
+    "repro.service",
 ]
 
 
